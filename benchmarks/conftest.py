@@ -1,0 +1,54 @@
+"""Shared infrastructure for the figure/table benchmarks.
+
+Each ``test_figN_*``/``test_tabN_*`` module regenerates one element of the
+paper's evaluation and prints the corresponding rows/series. Simulation
+results are memoized per process (``repro.analysis.tables``), so benches
+that share runs (e.g. Figure 5's baselines feed Figure 9) pay for them once.
+
+Runtime knobs
+-------------
+``REPRO_BENCH_WORKLOADS=all``
+    Run all 36 catalog workloads instead of the representative subset.
+``REPRO_BENCH_OPS``
+    Memory operations per core per run (default 2500).
+"""
+
+import os
+from typing import List
+
+import pytest
+
+from repro.workloads import workload_names
+
+#: Representative subset spanning every suite and behaviour class
+#: (bandwidth-bound streams, graph gathers, latency-bound pointer chasers,
+#: LLC-friendly PARSEC codes).
+REPRESENTATIVE: List[str] = [
+    "lbm", "bwaves", "cam4", "mcf", "gcc",
+    "PageRank", "Components", "BFS", "CF",
+    "stream-copy", "stream-add",
+    "masstree", "kmeans", "raytrace", "canneal",
+]
+
+
+def bench_workloads() -> List[str]:
+    """Workload list for benches (subset by default, ``all`` via env)."""
+    if os.environ.get("REPRO_BENCH_WORKLOADS", "").lower() == "all":
+        return workload_names()
+    return list(REPRESENTATIVE)
+
+
+def bench_ops() -> int:
+    """Per-core memory operations per simulation."""
+    return int(os.environ.get("REPRO_BENCH_OPS", "2500"))
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  iterations=1, rounds=1)
+
+    return _run

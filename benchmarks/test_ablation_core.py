@@ -1,0 +1,52 @@
+"""Ablation: core microarchitecture parameters.
+
+The paper's speedups hinge on memory-level parallelism: a 256-entry ROB
+and 16 MSHRs per core let many misses overlap, which is what converts
+lower memory latency into IPC. These benches verify the model responds to
+both knobs the way real out-of-order cores do.
+"""
+
+from conftest import bench_ops
+
+from repro.analysis import format_table
+from repro.system.config import baseline_config
+from repro.system.sim import simulate
+from repro.workloads import get_workload
+
+
+def sweep_mshrs(values=(2, 8, 16, 64)):
+    wl = get_workload("stream-copy")
+    return {m: simulate(baseline_config(mshrs=m, name=f"base-mshr{m}"),
+                        wl, ops_per_core=bench_ops())
+            for m in values}
+
+
+def sweep_rob(values=(32, 128, 256, 1024)):
+    wl = get_workload("bwaves")
+    return {r: simulate(baseline_config(rob=r, name=f"base-rob{r}"),
+                        wl, ops_per_core=bench_ops())
+            for r in values}
+
+
+def test_ablation_mshrs(run_once):
+    res = run_once(sweep_mshrs)
+    rows = [[m, r.ipc, r.bandwidth_gbps, r.avg_queuing] for m, r in res.items()]
+    print("\nAblation — MSHRs per core (stream-copy, DDR baseline):")
+    print(format_table(["MSHRs", "IPC", "BW GB/s", "queue ns"], rows))
+
+    # More MSHRs -> more outstanding misses -> more bandwidth extracted.
+    assert res[16].bandwidth_gbps > res[2].bandwidth_gbps
+    assert res[16].ipc > res[2].ipc
+    # Saturation: beyond the bandwidth wall, extra MSHRs stop helping much.
+    assert res[64].ipc < res[16].ipc * 1.5
+
+
+def test_ablation_rob(run_once):
+    res = run_once(sweep_rob)
+    rows = [[r, v.ipc, v.avg_miss_latency] for r, v in res.items()]
+    print("\nAblation — ROB size (bwaves, DDR baseline):")
+    print(format_table(["ROB", "IPC", "miss ns"], rows))
+
+    # A larger window tolerates more latency: IPC must be monotone-ish.
+    assert res[256].ipc > res[32].ipc
+    assert res[1024].ipc >= res[256].ipc * 0.9

@@ -1,0 +1,48 @@
+"""Figure 11: sensitivity to server (core) utilization.
+
+Paper claims: with a single active core COAXIAL loses ~27% on average
+(the latency premium is naked); at 33% utilization most slowdowns vanish;
+at 66% utilization (8 active cores, i.e. an 8:1 core:MC ratio) COAXIAL
+already delivers 1.17x.
+"""
+
+from conftest import bench_ops
+
+from repro.analysis import format_table, geomean
+from repro.analysis.tables import run_suite
+from repro.system.config import baseline_config, coaxial_config
+
+CORE_COUNTS = (1, 4, 8, 12)
+WORKLOADS = ["stream-copy", "PageRank", "lbm", "mcf", "gcc", "kmeans"]
+
+
+def build_fig11():
+    ops = bench_ops()
+    out = {}
+    for n in CORE_COUNTS:
+        base = run_suite(baseline_config(active_cores=n), WORKLOADS, ops)
+        coax = run_suite(coaxial_config(active_cores=n), WORKLOADS, ops)
+        out[n] = (base, coax)
+    return out
+
+
+def test_fig11_core_util(run_once):
+    results = run_once(build_fig11)
+
+    rows = []
+    gm = {}
+    for n, (base, coax) in results.items():
+        sps = {w: coax[w].speedup_over(base[w]) for w in base.results}
+        gm[n] = geomean(sps.values())
+        for w, s in sps.items():
+            rows.append([w, n, s])
+    print("\nFigure 11 — speedup vs active cores (normalized per core count):")
+    print(format_table(["workload", "active cores", "speedup"], rows))
+    print("geomeans: " + "  ".join(f"{n} cores={gm[n]:.2f}" for n in CORE_COUNTS)
+          + "  (paper: 1 core ~0.73, 8 cores 1.17, 12 cores 1.39)")
+
+    # Shape: monotone improvement with utilization; single core loses,
+    # 8+ cores win.
+    assert gm[1] < 1.0
+    assert gm[1] < gm[4] < gm[8] <= gm[12] * 1.05
+    assert gm[8] > 1.0

@@ -1,0 +1,29 @@
+"""Figure 1: bandwidth per processor pin, DDR vs PCIe generations.
+
+Paper claim: PCIe delivers ~4x the bandwidth per pin of DDR today
+(PCIe-5.0 vs DDR5-4800), with the gap growing across generations.
+"""
+
+from repro.analysis import format_table
+from repro.area import bandwidth_per_pin_table, DDR_GENERATIONS, PCIE_GENERATIONS
+from repro.area.pins import pcie_vs_ddr_gap
+
+
+def build_fig1():
+    table = bandwidth_per_pin_table("PCIe-1.0")
+    gap = pcie_vs_ddr_gap("PCIe-5.0", "DDR5-4800")
+    return table, gap
+
+
+def test_fig1_bw_per_pin(run_once):
+    table, gap = run_once(build_fig1)
+
+    rows = [[g.name, g.year, g.bandwidth_gbps, g.pins, table[g.name]]
+            for g in DDR_GENERATIONS + PCIE_GENERATIONS]
+    print("\nFigure 1 — bandwidth per pin (normalized to PCIe-1.0):")
+    print(format_table(["interface", "year", "GB/s", "pins", "norm BW/pin"], rows))
+    print(f"PCIe-5.0 vs DDR5-4800 gap: {gap:.2f}x (paper: ~4x)")
+
+    assert 3.0 < gap < 5.5
+    # The gap grows with newer PCIe generations (paper: ~8x by 2025).
+    assert table["PCIe-6.0"] > table["PCIe-5.0"] > table["DDR5-4800"]

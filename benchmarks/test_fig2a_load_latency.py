@@ -1,0 +1,35 @@
+"""Figure 2a: DDR5-4800 channel load-latency curve (average and p90).
+
+Paper claims: average latency rises ~3x/4x at 50%/60% bandwidth
+utilization; p90 rises faster (4.7x/7.1x); queuing effects appear from
+~20% load on the tail.
+"""
+
+from repro.analysis import format_table
+from repro.dram import load_latency_curve
+
+LOADS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6)
+
+
+def build_curve():
+    return load_latency_curve(LOADS, n_requests=2500)
+
+
+def test_fig2a_load_latency(run_once):
+    pts = run_once(build_curve)
+
+    rows = [[f"{p.target_utilization:.0%}", f"{p.achieved_utilization:.0%}",
+             p.mean_latency, p.p90_latency, p.p99_latency] for p in pts]
+    print("\nFigure 2a — DDR5-4800 load-latency curve:")
+    print(format_table(["load", "achieved", "avg ns", "p90 ns", "p99 ns"], rows))
+    by_load = {p.target_utilization: p for p in pts}
+    m_ratio = by_load[0.6].mean_latency / by_load[0.1].mean_latency
+    p_ratio = by_load[0.6].p90_latency / by_load[0.1].p90_latency
+    print(f"60% vs 10% load: mean x{m_ratio:.1f}, p90 x{p_ratio:.1f} "
+          "(paper: mean ~4x unloaded, p90 ~7x)")
+
+    # Shape assertions: superlinear growth, p90 grows faster than mean.
+    assert m_ratio > 1.8
+    assert p_ratio > m_ratio
+    means = [p.mean_latency for p in pts]
+    assert all(b >= a * 0.95 for a, b in zip(means, means[1:]))  # ~monotone

@@ -1,0 +1,42 @@
+"""Figure 2b: baseline latency breakdown and bandwidth utilization.
+
+Paper claims (DDR baseline, all 12 cores active): most workloads exceed
+30% memory bandwidth utilization; queuing delay constitutes ~60% of the
+average L2-miss latency across workloads; on-chip time is ~15%.
+"""
+
+from conftest import bench_ops, bench_workloads
+
+from repro.analysis import format_table
+from repro.analysis.tables import run_suite
+from repro.system.config import baseline_config
+
+
+def build_fig2b():
+    return run_suite(baseline_config(), bench_workloads(), bench_ops())
+
+
+def test_fig2b_breakdown(run_once):
+    suite = run_once(build_fig2b)
+
+    rows = []
+    for name, r in suite.results.items():
+        rows.append([name, r.avg_miss_latency, r.avg_onchip, r.avg_queuing,
+                     r.avg_dram, 100 * r.bandwidth_utilization])
+    print("\nFigure 2b — baseline L2-miss latency breakdown & utilization:")
+    print(format_table(
+        ["workload", "miss ns", "onchip", "queuing", "dram", "util %"], rows))
+
+    results = list(suite.results.values())
+    util_over_30 = sum(1 for r in results if r.bandwidth_utilization > 0.30)
+    print(f"{util_over_30}/{len(results)} workloads above 30% utilization")
+    q_frac = (sum(r.avg_queuing for r in results)
+              / sum(r.avg_miss_latency for r in results))
+    print(f"queuing fraction of miss latency: {100 * q_frac:.0f}% (paper: ~60%)")
+
+    # Shape: most workloads load the channel; queuing dominates on average.
+    assert util_over_30 >= len(results) * 0.6
+    assert q_frac > 0.35
+    # Queuing exceeds DRAM service time for the bandwidth-hungry half.
+    heavy = [r for r in results if r.bandwidth_utilization > 0.5]
+    assert heavy and all(r.avg_queuing > r.avg_dram for r in heavy)

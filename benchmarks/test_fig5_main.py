@@ -1,0 +1,66 @@
+"""Figure 5: the paper's main result.
+
+COAXIAL-4x vs the DDR baseline across the workload suite: per-workload
+speedup (top), L2-miss latency breakdown (middle), and memory bandwidth
+usage/utilization (bottom).
+
+Paper claims: 1.39x mean speedup, up to 3x; a minority of low-traffic
+workloads lose performance; average bandwidth *utilization* drops (54% ->
+34%) despite higher absolute bandwidth use; queuing delay shrinks ~5x.
+"""
+
+from conftest import bench_ops, bench_workloads
+
+from repro.analysis import format_table, geomean
+from repro.analysis.tables import run_suite
+from repro.system.config import baseline_config, coaxial_config
+
+
+def build_fig5():
+    wls = bench_workloads()
+    ops = bench_ops()
+    base = run_suite(baseline_config(), wls, ops)
+    coax = run_suite(coaxial_config(), wls, ops)
+    return base, coax
+
+
+def test_fig5_main(run_once):
+    base, coax = run_once(build_fig5)
+
+    rows = []
+    speedups = []
+    for name in base.results:
+        b, c = base[name], coax[name]
+        sp = c.speedup_over(b)
+        speedups.append(sp)
+        rows.append([
+            name, sp, b.avg_miss_latency, c.avg_miss_latency,
+            b.avg_queuing, c.avg_queuing, c.avg_cxl,
+            100 * b.bandwidth_utilization, 100 * c.bandwidth_utilization,
+        ])
+    print("\nFigure 5 — COAXIAL-4x vs DDR baseline:")
+    print(format_table(
+        ["workload", "speedup", "b misslat", "c misslat",
+         "b queue", "c queue", "c cxl", "b util%", "c util%"], rows))
+
+    gm = geomean(speedups)
+    losers = sum(1 for s in speedups if s < 1.0)
+    big = sum(1 for s in speedups if s > 1.5)
+    bq = sum(r.avg_queuing for r in base.results.values()) / len(rows)
+    cq = sum(r.avg_queuing for r in coax.results.values()) / len(rows)
+    bu = sum(r.bandwidth_utilization for r in base.results.values()) / len(rows)
+    cu = sum(r.bandwidth_utilization for r in coax.results.values()) / len(rows)
+    print(f"geomean speedup {gm:.2f}x (paper 1.39x), max {max(speedups):.2f}x "
+          f"(paper 3x), {losers} losers (paper 7/36), {big} above 1.5x")
+    print(f"avg queuing {bq:.0f} -> {cq:.0f} ns (paper ~5x reduction); "
+          f"avg utilization {100 * bu:.0f}% -> {100 * cu:.0f}% (paper 54% -> 34%)")
+
+    # Shape assertions.
+    assert gm > 1.15                       # clear mean win
+    assert max(speedups) > 2.0             # streams gain dramatically
+    assert 0 < losers < len(speedups) / 2  # a minority loses
+    assert cq < bq / 2.5                   # queuing collapses
+    assert cu < bu                         # utilization drops despite more traffic
+    total_b = sum(r.bandwidth_gbps for r in base.results.values())
+    total_c = sum(r.bandwidth_gbps for r in coax.results.values())
+    assert total_c > total_b               # absolute bandwidth use grows

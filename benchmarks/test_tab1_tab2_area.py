@@ -1,0 +1,32 @@
+"""Tables I and II: component areas and candidate server designs."""
+
+from repro.analysis import format_table
+from repro.area import AREA_TABLE, server_design_table
+
+
+def build_tables():
+    return AREA_TABLE, server_design_table()
+
+
+def test_tab1_tab2_area(run_once):
+    area, designs = run_once(build_tables)
+
+    print("\nTable I — component area relative to 1MB LLC:")
+    print(format_table(["component", "area"],
+                       [[c.name, c.area] for c in area.values()]))
+
+    print("\nTable II — server designs:")
+    rows = [[d["design"], d["cores"], d["llc_per_core_mb"], d["ddr_channels"],
+             d["cxl_channels"], d["relative_bw"], d["relative_area"], d["comment"]]
+            for d in designs]
+    print(format_table(
+        ["design", "cores", "LLC/core", "DDR", "CXL", "rel BW", "rel area", "note"],
+        rows))
+
+    by = {d["design"]: d for d in designs}
+    # Paper's Table II anchor points.
+    assert by["COAXIAL-5x"]["relative_bw"] == 5.0
+    assert 1.12 < by["COAXIAL-5x"]["relative_area"] < 1.22   # ~1.17
+    assert abs(by["COAXIAL-4x"]["relative_area"] - 1.01) < 0.03
+    assert by["COAXIAL-2x"]["relative_area"] <= by["COAXIAL-5x"]["relative_area"]
+    assert by["DDR-based"]["relative_area"] == 1.0

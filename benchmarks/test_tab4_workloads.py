@@ -1,0 +1,43 @@
+"""Table IV: baseline IPC and LLC MPKI for every workload.
+
+The synthetic workload generators are calibrated so LLC MPKI lands in
+Table IV's band per workload; IPC trends (high-MPKI => low IPC) must hold.
+"""
+
+from conftest import bench_ops, bench_workloads
+
+from repro.analysis import format_table
+from repro.analysis.tables import run_suite
+from repro.system.config import baseline_config
+from repro.workloads import get_workload
+
+
+def build_tab4():
+    return run_suite(baseline_config(), bench_workloads(), bench_ops())
+
+
+def test_tab4_workloads(run_once):
+    suite = run_once(build_tab4)
+
+    rows = []
+    mpki_ok = 0
+    for name, r in suite.results.items():
+        wl = get_workload(name)
+        in_band = 0.5 <= r.llc_mpki / wl.paper_mpki <= 2.0
+        mpki_ok += in_band
+        rows.append([name, r.ipc, wl.paper_ipc, r.llc_mpki, wl.paper_mpki,
+                     "ok" if in_band else "OFF"])
+    print("\nTable IV — baseline IPC / LLC MPKI (measured vs paper):")
+    print(format_table(
+        ["workload", "IPC", "paper IPC", "MPKI", "paper MPKI", "band"], rows))
+
+    n = len(suite.results)
+    print(f"{mpki_ok}/{n} workloads within 0.5-2x of the paper's MPKI")
+    assert mpki_ok >= 0.8 * n
+
+    # IPC ordering: the heaviest workloads must run slower than the lightest.
+    res = suite.results
+    if "lbm" in res and "raytrace" in res:
+        assert res["lbm"].ipc < res["raytrace"].ipc
+    if "stream-copy" in res and "cam4" in res:
+        assert res["stream-copy"].ipc < res["cam4"].ipc

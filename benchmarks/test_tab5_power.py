@@ -1,0 +1,63 @@
+"""Table V: energy/power comparison for the 144-core server.
+
+Drives the paper's power model with *measured* CPI and bandwidth
+utilization from the simulated suite. Paper claims: COAXIAL draws more
+power (646 W -> 931 W) but wins EDP by 25% and ED^2P by 47%, with ~96% of
+the baseline's perf/W.
+"""
+
+from conftest import bench_ops, bench_workloads
+
+from repro.analysis import format_table
+from repro.analysis.tables import run_suite
+from repro.power import energy_report, system_power
+from repro.system.config import baseline_config, coaxial_config
+
+
+def build_tab5():
+    wls = bench_workloads()
+    ops = bench_ops()
+    base = run_suite(baseline_config(), wls, ops)
+    coax = run_suite(coaxial_config(), wls, ops)
+
+    def avg(vals):
+        vals = list(vals)
+        return sum(vals) / len(vals)
+
+    base_cpi = avg(r.cpi for r in base.results.values())
+    coax_cpi = avg(r.cpi for r in coax.results.values())
+    base_util = avg(r.bandwidth_utilization for r in base.results.values())
+    coax_util = avg(r.bandwidth_utilization for r in coax.results.values())
+
+    base_p = system_power("DDR-based", n_ddr_channels=12, n_cxl_lanes=0,
+                          llc_mb=288, dimm_utilization=base_util)
+    coax_p = system_power("COAXIAL", n_ddr_channels=48, n_cxl_lanes=384,
+                          llc_mb=144, dimm_utilization=coax_util)
+    return (energy_report(base_p, base_cpi), energy_report(coax_p, coax_cpi),
+            base_p, coax_p)
+
+
+def test_tab5_power(run_once):
+    base_e, coax_e, base_p, coax_p = run_once(build_tab5)
+
+    print("\nTable V — power and efficiency (measured CPI/utilization):")
+    comp_rows = [[k, bv, cv] for (k, bv), (_, cv)
+                 in zip(base_p.as_dict().items(), coax_p.as_dict().items())]
+    print(format_table(["component", "baseline W", "COAXIAL W"], comp_rows))
+    rows = [
+        ["CPI", base_e.cpi, coax_e.cpi],
+        ["EDP", base_e.edp, coax_e.edp],
+        ["ED^2P", base_e.ed2p, coax_e.ed2p],
+        ["perf/W (x1000)", 1000 * base_e.perf_per_watt, 1000 * coax_e.perf_per_watt],
+    ]
+    print(format_table(["metric", "baseline", "COAXIAL"], rows))
+    print(f"EDP ratio {coax_e.edp / base_e.edp:.2f} (paper 0.75), "
+          f"ED^2P ratio {coax_e.ed2p / base_e.ed2p:.2f} (paper 0.53)")
+
+    # Shape: more power, but better EDP and much better ED^2P.
+    assert coax_e.power_w > base_e.power_w
+    assert coax_e.cpi < base_e.cpi
+    assert coax_e.edp < base_e.edp
+    assert coax_e.ed2p / base_e.ed2p < coax_e.edp / base_e.edp
+    # perf/W stays within ~25% of the baseline (paper: 96%).
+    assert coax_e.perf_per_watt / base_e.perf_per_watt > 0.7

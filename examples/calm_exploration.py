@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""CALM mechanism exploration (paper Section VI-B, Figure 7).
+
+Compares serial LLC access against CALM_50/60/70, MAP-I, and the ideal
+predictor on both the DDR baseline and COAXIAL, and prints decision quality
+(false positives waste bandwidth; false negatives serialize the access).
+"""
+
+from repro import baseline_config, coaxial_config, simulate
+from repro.analysis import format_table
+from repro.workloads import get_workload
+
+POLICIES = ["never", "calm_50", "calm_60", "calm_70", "mapi", "ideal"]
+WORKLOADS = ["stream-copy", "PageRank", "gcc", "xalancbmk"]
+
+
+def main() -> None:
+    rows = []
+    for wl_name in WORKLOADS:
+        wl = get_workload(wl_name)
+        for make in (baseline_config, coaxial_config):
+            serial_ipc = None
+            for pol in POLICIES:
+                cfg = make(calm_policy=pol)
+                r = simulate(cfg, wl)
+                if pol == "never":
+                    serial_ipc = r.ipc
+                rows.append([
+                    wl_name, cfg.name, pol, r.ipc, r.ipc / serial_ipc,
+                    100 * r.calm_false_pos_rate, 100 * r.calm_false_neg_rate,
+                ])
+    print(format_table(
+        ["workload", "system", "policy", "IPC", "vs serial",
+         "falsePos %", "falseNeg %"],
+        rows,
+    ))
+    print("\nExpected shape (paper Fig 7): CALM barely helps the bandwidth-"
+          "starved baseline but consistently helps COAXIAL; CALM_70 tracks "
+          "the ideal predictor closely.")
+
+
+if __name__ == "__main__":
+    main()

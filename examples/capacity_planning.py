@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Server capacity planning with the analytic models.
+
+Walks the paper's design-space arguments without running the full simulator:
+
+1. bandwidth per processor pin across interface generations (Figure 1);
+2. the DDR5 channel load-latency curve (Figure 2a) from the open-loop probe;
+3. candidate 144-core server designs under pin/area constraints (Table II);
+4. power/EDP implications (Table V style) for an assumed CPI improvement.
+"""
+
+from repro.area import bandwidth_per_pin_table, server_design_table
+from repro.area.pins import pcie_vs_ddr_gap
+from repro.analysis import format_table
+from repro.dram import load_latency_curve
+from repro.power import system_power, energy_report
+
+
+def main() -> None:
+    print("=== Figure 1: bandwidth per pin (normalized to PCIe-1.0) ===")
+    table = bandwidth_per_pin_table()
+    for name, v in table.items():
+        print(f"  {name:12s} {v:8.2f}")
+    print(f"\nPCIe-5.0 vs DDR5-4800 bandwidth/pin gap: {pcie_vs_ddr_gap():.1f}x "
+          "(paper: ~4x)\n")
+
+    print("=== Figure 2a: DDR5-4800 channel load-latency curve ===")
+    pts = load_latency_curve([0.1, 0.3, 0.5, 0.6, 0.7], n_requests=2000)
+    rows = [[f"{p.target_utilization:.0%}", p.mean_latency, p.p90_latency] for p in pts]
+    print(format_table(["load", "avg ns", "p90 ns"], rows), "\n")
+
+    print("=== Table II: 144-core server designs ===")
+    rows = [[r["design"], r["cores"], r["llc_per_core_mb"], r["ddr_channels"],
+             r["cxl_channels"], r["relative_bw"], r["relative_area"], r["comment"]]
+            for r in server_design_table()]
+    print(format_table(
+        ["design", "cores", "LLC/core MB", "DDR", "CXL", "rel BW", "rel area", "note"],
+        rows,
+    ), "\n")
+
+    print("=== Table V: power & efficiency (assumed CPIs from the paper) ===")
+    base_p = system_power("DDR-based", n_ddr_channels=12, n_cxl_lanes=0,
+                          llc_mb=288, dimm_utilization=0.54)
+    coax_p = system_power("COAXIAL", n_ddr_channels=48, n_cxl_lanes=384,
+                          llc_mb=144, dimm_utilization=0.34)
+    base_e = energy_report(base_p, cpi=2.05)
+    coax_e = energy_report(coax_p, cpi=1.48)
+    rows = [
+        [e.name, e.power_w, e.cpi, e.edp, e.ed2p]
+        for e in (base_e, coax_e)
+    ]
+    print(format_table(["system", "power W", "CPI", "EDP", "ED^2P"], rows))
+    print(f"\nEDP ratio:   {coax_e.edp / base_e.edp:.2f} (paper: 0.75)")
+    print(f"ED^2P ratio: {coax_e.ed2p / base_e.ed2p:.2f} (paper: 0.53)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload on the DDR baseline and COAXIAL-4x.
+
+Runs the paper's headline comparison on a single workload and prints the
+speedup plus the L2-miss latency breakdown that explains it (queuing delay
+shrinks far more than the CXL interface latency adds).
+
+Usage::
+
+    python examples/quickstart.py [workload]   # default: stream-copy
+"""
+
+import sys
+
+from repro import baseline_config, coaxial_config, simulate
+from repro.workloads import get_workload, workload_names
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "stream-copy"
+    try:
+        wl = get_workload(name)
+    except KeyError:
+        print(f"unknown workload {name!r}; choose from:\n  {', '.join(workload_names())}")
+        raise SystemExit(1)
+
+    print(f"Simulating {name!r} on 12 cores (this takes a few seconds)...\n")
+    base = simulate(baseline_config(), wl)
+    coax = simulate(coaxial_config(), wl)
+
+    print(base.summary())
+    print(coax.summary())
+    print()
+    print(f"speedup:             {coax.speedup_over(base):.2f}x")
+    print(f"miss latency:        {base.avg_miss_latency:.0f} ns -> {coax.avg_miss_latency:.0f} ns")
+    print(f"  queuing delay:     {base.avg_queuing:.0f} ns -> {coax.avg_queuing:.0f} ns")
+    print(f"  on-chip time:      {base.avg_onchip:.0f} ns -> {coax.avg_onchip:.0f} ns")
+    print(f"  CXL interface:     {base.avg_cxl:.0f} ns -> {coax.avg_cxl:.0f} ns")
+    print(f"bandwidth util:      {100 * base.bandwidth_utilization:.0f}% -> "
+          f"{100 * coax.bandwidth_utilization:.0f}% (of {coax.peak_bandwidth_gbps:.0f} GB/s)")
+
+
+if __name__ == "__main__":
+    main()

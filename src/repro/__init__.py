@@ -1,0 +1,48 @@
+"""COAXIAL: a CXL-centric memory system simulator for scalable servers.
+
+A from-scratch Python reproduction of *COAXIAL: A CXL-Centric Memory System
+for Scalable Servers* (SC 2024). The package provides:
+
+- ``repro.engine``    — discrete-event simulation kernel
+- ``repro.dram``      — DDR5 channel model (FR-FCFS, bank timing, refresh)
+- ``repro.cache``     — set-associative cache hierarchy with MSHRs
+- ``repro.noc``       — 2D-mesh on-chip network latency model
+- ``repro.cxl``       — CXL ports/links and Type-3 memory devices
+- ``repro.cpu``       — trace-driven out-of-order core model
+- ``repro.calm``      — Concurrent Access of LLC and Memory policies
+- ``repro.workloads`` — synthetic workload trace generators (Table IV suite)
+- ``repro.system``    — server configurations and the simulation driver
+- ``repro.area``      — pin/area models (Figure 1, Tables I-II)
+- ``repro.power``     — power/EDP/ED^2P model (Table V)
+- ``repro.analysis``  — latency breakdowns and report tables
+
+Quickstart::
+
+    from repro import simulate, baseline_config, coaxial_config
+    from repro.workloads import get_workload
+
+    wl = get_workload("stream-copy")
+    base = simulate(baseline_config(), wl)
+    coax = simulate(coaxial_config(), wl)
+    print(f"speedup: {coax.speedup_over(base):.2f}x")
+"""
+
+from repro.system.config import (
+    SystemConfig,
+    baseline_config,
+    coaxial_config,
+    coaxial_2x_config,
+    coaxial_5x_config,
+    coaxial_asym_config,
+    ALL_CONFIGS,
+)
+from repro.system.sim import simulate
+from repro.system.stats import SimResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig", "baseline_config", "coaxial_config", "coaxial_2x_config",
+    "coaxial_5x_config", "coaxial_asym_config", "ALL_CONFIGS",
+    "simulate", "SimResult", "__version__",
+]

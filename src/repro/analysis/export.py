@@ -1,0 +1,67 @@
+"""CSV export of simulation results.
+
+The paper's artifact collects per-run statistics into
+``collected_stats.csv`` before plotting; this module provides the same
+collection step for this reproduction, so results can be post-processed
+with any external tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.system.stats import SimResult
+
+#: Column order of the exported CSV.
+FIELDS: List[str] = [
+    "config", "workload", "ipc", "instructions", "elapsed_ns",
+    "n_misses", "avg_miss_latency", "avg_onchip", "avg_queuing",
+    "avg_dram", "avg_cxl", "p90_miss_latency",
+    "bandwidth_gbps", "read_bandwidth_gbps", "write_bandwidth_gbps",
+    "peak_bandwidth_gbps", "bandwidth_utilization",
+    "llc_mpki", "llc_hit_rate",
+    "calm_fraction", "calm_false_pos_rate", "calm_false_neg_rate",
+]
+
+
+def result_row(r: SimResult) -> List[object]:
+    """One CSV row for a :class:`SimResult`."""
+    return [
+        r.config_name, r.workload_name, r.ipc, r.instructions, r.elapsed_ns,
+        r.n_misses, r.avg_miss_latency, r.avg_onchip, r.avg_queuing,
+        r.avg_dram, r.avg_cxl, r.p90_miss_latency,
+        r.bandwidth_gbps, r.read_bandwidth_gbps, r.write_bandwidth_gbps,
+        r.peak_bandwidth_gbps, r.bandwidth_utilization,
+        r.llc_mpki, r.llc_hit_rate,
+        r.calm_fraction, r.calm_false_pos_rate, r.calm_false_neg_rate,
+    ]
+
+
+def export_results(results: Iterable[SimResult],
+                   path: Union[str, Path]) -> Path:
+    """Write results to ``path`` as CSV (the artifact's collected stats)."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(FIELDS)
+        for r in results:
+            writer.writerow(result_row(r))
+    return path
+
+
+def load_results_csv(path: Union[str, Path]) -> List[dict]:
+    """Read an exported CSV back as dict rows (strings coerced to float
+    where possible)."""
+    out: List[dict] = []
+    with Path(path).open() as fh:
+        for row in csv.DictReader(fh):
+            parsed = {}
+            for k, v in row.items():
+                try:
+                    parsed[k] = float(v)
+                except ValueError:
+                    parsed[k] = v
+            out.append(parsed)
+    return out

@@ -1,0 +1,104 @@
+"""Dependency-free ASCII figure rendering for benches and examples.
+
+The paper's artifact plots matplotlib figures; this reproduction renders
+equivalent bar charts and series as text so every "figure" regenerates in
+any terminal/CI log without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+def bar_chart(values: Mapping[str, float], width: int = 50,
+              title: str = "", unit: str = "",
+              reference: Optional[float] = None) -> str:
+    """Horizontal bar chart.
+
+    Parameters
+    ----------
+    values:
+        Label -> value (values must be >= 0).
+    width:
+        Character width of the longest bar.
+    reference:
+        Optional value marked with ``|`` on every row (e.g. speedup = 1.0).
+    """
+    if not values:
+        return f"{title}\n(no data)" if title else "(no data)"
+    if any(v < 0 for v in values.values()):
+        raise ValueError("bar_chart requires non-negative values")
+    vmax = max(values.values()) or 1.0
+    label_w = max(len(k) for k in values)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    ref_col = int(round((reference / vmax) * width)) if reference else None
+    for k, v in values.items():
+        n = int(round((v / vmax) * width))
+        bar = "#" * n
+        if ref_col is not None and 0 <= ref_col <= width:
+            pad = list(bar.ljust(width))
+            if ref_col < len(pad):
+                pad[ref_col] = "|" if pad[ref_col] == " " else "+"
+            bar = "".join(pad).rstrip()
+        lines.append(f"{k.rjust(label_w)}  {bar} {v:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def stacked_bars(rows: Mapping[str, Sequence[float]], parts: Sequence[str],
+                 width: int = 50, title: str = "") -> str:
+    """Stacked horizontal bars (e.g. latency breakdowns).
+
+    ``rows`` maps a label to one value per part; each part renders with a
+    distinct character from ``#=+:*%@`` in order.
+    """
+    chars = "#=+:*%@"
+    if any(len(v) != len(parts) for v in rows.values()):
+        raise ValueError("every row needs one value per part")
+    if not rows:
+        return title
+    vmax = max(sum(v) for v in rows.values()) or 1.0
+    label_w = max(len(k) for k in rows)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(f"{chars[i % len(chars)]}={p}" for i, p in enumerate(parts))
+    lines.append(f"[{legend}]")
+    for k, vals in rows.items():
+        bar = ""
+        for i, v in enumerate(vals):
+            bar += chars[i % len(chars)] * int(round(v / vmax * width))
+        lines.append(f"{k.rjust(label_w)}  {bar} {sum(vals):.1f}")
+    return "\n".join(lines)
+
+
+def series(points: Iterable[Tuple[float, float]], width: int = 60,
+           height: int = 12, title: str = "",
+           xlabel: str = "", ylabel: str = "") -> str:
+    """Scatter/line plot of (x, y) points on a character grid."""
+    pts = sorted(points)
+    if len(pts) < 2:
+        raise ValueError("need at least two points")
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xr = (x1 - x0) or 1.0
+    yr = (y1 - y0) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in pts:
+        col = int((x - x0) / xr * (width - 1))
+        row = height - 1 - int((y - y0) / yr * (height - 1))
+        grid[row][col] = "*"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y1:10.1f} +" + "".join(grid[0]))
+    for r in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(r))
+    lines.append(f"{y0:10.1f} +" + "".join(grid[-1]))
+    lines.append(" " * 12 + f"{x0:<10.2g}{' ' * max(0, width - 20)}{x1:>10.2g}")
+    if xlabel or ylabel:
+        lines.append(" " * 12 + f"x: {xlabel}   y: {ylabel}")
+    return "\n".join(lines)

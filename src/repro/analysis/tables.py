@@ -1,0 +1,65 @@
+"""Suite runner: simulate many (config, workload) pairs with caching.
+
+The figure/table benches share most of their simulation work (e.g. Figure 5
+and Figure 9 both need the baseline runs across all 36 workloads), so
+:func:`run_suite` memoizes results per process keyed by
+(config name + relevant knobs, workload, ops, seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.system.config import SystemConfig
+from repro.system.sim import simulate
+from repro.system.stats import SimResult
+from repro.workloads.catalog import get_workload
+
+_cache: Dict[Tuple, SimResult] = {}
+
+
+def _key(cfg: SystemConfig, workload: str, ops: Optional[int], seed: int) -> Tuple:
+    return (
+        cfg.name, cfg.n_mem_ports, cfg.memory_kind, cfg.ddr_per_cxl,
+        cfg.llc_kb_per_core, cfg.calm_policy, cfg.active_cores,
+        cfg.cxl_params.name, cfg.cxl_params.port_latency_ns,
+        workload, ops, seed,
+    )
+
+
+@dataclass
+class SuiteResult:
+    """Results of one configuration across a list of workloads."""
+
+    config: SystemConfig
+    results: Dict[str, SimResult] = field(default_factory=dict)
+
+    def __getitem__(self, workload: str) -> SimResult:
+        return self.results[workload]
+
+    def ipcs(self) -> Dict[str, float]:
+        return {w: r.ipc for w, r in self.results.items()}
+
+
+def run_one(cfg: SystemConfig, workload: str, ops_per_core: Optional[int] = None,
+            seed: int = 1) -> SimResult:
+    """Simulate one pair, memoized per process."""
+    key = _key(cfg, workload, ops_per_core, seed)
+    if key not in _cache:
+        _cache[key] = simulate(cfg, get_workload(workload), ops_per_core, seed=seed)
+    return _cache[key]
+
+
+def run_suite(cfg: SystemConfig, workloads: Sequence[str],
+              ops_per_core: Optional[int] = None, seed: int = 1) -> SuiteResult:
+    """Simulate ``cfg`` across ``workloads`` (memoized)."""
+    out = SuiteResult(config=cfg)
+    for w in workloads:
+        out.results[w] = run_one(cfg, w, ops_per_core, seed)
+    return out
+
+
+def clear_cache() -> None:
+    """Drop memoized results (tests that mutate configs use this)."""
+    _cache.clear()

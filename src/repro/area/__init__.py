@@ -1,0 +1,14 @@
+"""Pin and silicon-area models (Figure 1, Tables I and II)."""
+
+from repro.area.pins import (
+    InterfaceGen, DDR_GENERATIONS, PCIE_GENERATIONS, bandwidth_per_pin_table,
+)
+from repro.area.model import (
+    ComponentArea, AREA_TABLE, ServerDesign, server_design_table,
+)
+
+__all__ = [
+    "InterfaceGen", "DDR_GENERATIONS", "PCIE_GENERATIONS",
+    "bandwidth_per_pin_table", "ComponentArea", "AREA_TABLE",
+    "ServerDesign", "server_design_table",
+]

@@ -1,0 +1,116 @@
+"""Memory capacity and cost model (paper Section IV-E).
+
+The paper argues COAXIAL also wins on memory *cost*: DIMM price grows
+superlinearly with density (128 GB/256 GB DIMMs cost ~5x/~20x a 64 GB
+DIMM), and capacity-optimized servers run two DIMMs per channel (2DPC)
+at a ~15% bandwidth penalty. By attaching 4x the channels, COAXIAL
+reaches the same capacity with cheap low-density DIMMs at 1DPC.
+
+This module quantifies that argument: DIMM price curve, server memory
+configurations, and iso-capacity cost/bandwidth comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+#: Relative DIMM cost by density (normalized to a 64 GB RDIMM = 1.0),
+#: following the paper's "5x / 20x" scaling for 128/256 GB parts.
+DIMM_COST: Dict[int, float] = {
+    16: 0.22,
+    32: 0.45,
+    64: 1.0,
+    128: 5.0,
+    256: 20.0,
+}
+
+#: Bandwidth derating when running two DIMMs per channel.
+TWO_DPC_BW_PENALTY = 0.15
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """One server memory configuration."""
+
+    name: str
+    channels: int
+    dimm_gb: int
+    dimms_per_channel: int = 1
+
+    def __post_init__(self) -> None:
+        if self.dimm_gb not in DIMM_COST:
+            raise ValueError(f"no cost data for {self.dimm_gb} GB DIMMs "
+                             f"(known: {sorted(DIMM_COST)})")
+        if self.dimms_per_channel not in (1, 2):
+            raise ValueError("dimms_per_channel must be 1 or 2")
+
+    @property
+    def capacity_gb(self) -> int:
+        return self.channels * self.dimms_per_channel * self.dimm_gb
+
+    @property
+    def relative_cost(self) -> float:
+        """Total DIMM cost in 64GB-DIMM units."""
+        n = self.channels * self.dimms_per_channel
+        return n * DIMM_COST[self.dimm_gb]
+
+    @property
+    def relative_bandwidth(self) -> float:
+        """Aggregate channel bandwidth, 2DPC-derated, in channel units."""
+        derate = (1.0 - TWO_DPC_BW_PENALTY) if self.dimms_per_channel == 2 else 1.0
+        return self.channels * derate
+
+    @property
+    def cost_per_gb(self) -> float:
+        return self.relative_cost / self.capacity_gb
+
+
+def cheapest_config(name: str, channels: int, capacity_gb: int) -> MemoryConfig:
+    """Cheapest configuration reaching at least ``capacity_gb``.
+
+    Considers every (density, DPC) pair; ties break towards higher
+    bandwidth (1DPC) then lower capacity overshoot.
+    """
+    best: Optional[MemoryConfig] = None
+    for gb in sorted(DIMM_COST):
+        for dpc in (1, 2):
+            cfg = MemoryConfig(name, channels, gb, dpc)
+            if cfg.capacity_gb < capacity_gb:
+                continue
+            if best is None or (cfg.relative_cost, -cfg.relative_bandwidth,
+                                cfg.capacity_gb) < (best.relative_cost,
+                                                    -best.relative_bandwidth,
+                                                    best.capacity_gb):
+                best = cfg
+    if best is None:
+        raise ValueError(
+            f"{capacity_gb} GB unreachable with {channels} channels "
+            f"(max {channels * 2 * max(DIMM_COST)} GB)")
+    return best
+
+
+def iso_capacity_comparison(capacity_gb: int = 3072,
+                            base_channels: int = 12,
+                            coaxial_channels: int = 48) -> List[Dict[str, object]]:
+    """Paper Section IV-E: same capacity on the baseline vs COAXIAL.
+
+    Returns one row per system with capacity, cost, and bandwidth. The
+    expected shape: COAXIAL reaches the target with low-density 1DPC DIMMs
+    at a fraction of the cost, with far more bandwidth.
+    """
+    base = cheapest_config("DDR-based", base_channels, capacity_gb)
+    coax = cheapest_config("COAXIAL", coaxial_channels, capacity_gb)
+    rows = []
+    for cfg in (base, coax):
+        rows.append({
+            "system": cfg.name,
+            "channels": cfg.channels,
+            "dimm_gb": cfg.dimm_gb,
+            "dpc": cfg.dimms_per_channel,
+            "capacity_gb": cfg.capacity_gb,
+            "relative_cost": cfg.relative_cost,
+            "cost_per_gb": cfg.cost_per_gb,
+            "relative_bw": cfg.relative_bandwidth,
+        })
+    return rows

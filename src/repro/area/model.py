@@ -1,0 +1,97 @@
+"""Silicon-area model (Tables I and II).
+
+Component areas are expressed relative to 1 MB of L3 (LLC), derived by the
+paper from Golden Cove (Intel 10 nm) and Zen 3 (TSMC 7 nm) die shots.
+:func:`server_design_table` rebuilds Table II: the 144-core baseline versus
+the COAXIAL variants, with relative memory bandwidth and die area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class ComponentArea:
+    """Area of one component, in units of 1 MB LLC."""
+
+    name: str
+    area: float
+
+
+#: Table I.
+AREA_TABLE: Dict[str, ComponentArea] = {
+    "llc_1mb": ComponentArea("L3 cache (1MB)", 1.0),
+    "core": ComponentArea("Zen 3 core (incl. 512KB L2)", 6.5),
+    "pcie_x8": ComponentArea("x8 PCIe (PHY + ctrl)", 5.9),
+    "ddr_channel": ComponentArea("DDR channel (PHY + ctrl)", 10.8),
+}
+
+
+@dataclass(frozen=True)
+class ServerDesign:
+    """One Table II row."""
+
+    name: str
+    cores: int
+    llc_mb_per_core: float
+    ddr_channels: int        # direct DDR interfaces on the die
+    cxl_channels: int        # x8 CXL interfaces on the die
+    comment: str = ""
+
+    @property
+    def total_llc_mb(self) -> float:
+        return self.cores * self.llc_mb_per_core
+
+    @property
+    def chip_area(self) -> float:
+        """Die area in 1MB-LLC units (cores + LLC + memory interfaces)."""
+        return (
+            self.cores * AREA_TABLE["core"].area
+            + self.total_llc_mb * AREA_TABLE["llc_1mb"].area
+            + self.ddr_channels * AREA_TABLE["ddr_channel"].area
+            + self.cxl_channels * AREA_TABLE["pcie_x8"].area
+        )
+
+    @property
+    def relative_mem_bandwidth(self) -> float:
+        """Memory bandwidth relative to one direct DDR channel per channel.
+
+        Each x8 CXL channel feeds one DDR channel on its Type-3 device, so
+        bandwidth scales with total attached DDR channels.
+        """
+        return self.ddr_channels + self.cxl_channels
+
+    @property
+    def pins(self) -> int:
+        """Memory-interface processor pins."""
+        return self.ddr_channels * 160 + self.cxl_channels * 32
+
+
+def server_design_table(base_cores: int = 144, base_ddr: int = 12,
+                        base_llc_per_core: float = 2.0) -> List[Dict[str, object]]:
+    """Rebuild Table II (areas normalized to the DDR baseline)."""
+    designs = [
+        ServerDesign("DDR-based", base_cores, base_llc_per_core, base_ddr, 0, "baseline"),
+        ServerDesign("COAXIAL-5x", base_cores, base_llc_per_core, 0, base_ddr * 5, "iso-pin"),
+        ServerDesign("COAXIAL-2x", base_cores, base_llc_per_core, 0, base_ddr * 2, "iso-LLC"),
+        ServerDesign("COAXIAL-4x", base_cores, base_llc_per_core / 2, 0, base_ddr * 4, "balanced"),
+        ServerDesign("COAXIAL-asym", base_cores, base_llc_per_core / 2, 0, base_ddr * 4, "max BW"),
+    ]
+    base_area = designs[0].chip_area
+    base_bw = designs[0].relative_mem_bandwidth
+    rows = []
+    for d in designs:
+        rows.append({
+            "design": d.name,
+            "cores": d.cores,
+            "llc_per_core_mb": d.llc_mb_per_core,
+            "ddr_channels": d.ddr_channels,
+            "cxl_channels": d.cxl_channels,
+            "relative_bw": d.relative_mem_bandwidth / base_bw,
+            "relative_area": d.chip_area / base_area,
+            "mem_pins": d.pins,
+            "comment": d.comment,
+        })
+    return rows

@@ -1,0 +1,66 @@
+"""Bandwidth-per-processor-pin across interface generations (Figure 1).
+
+DDR bandwidth figures are *combined* read+write peak per channel; PCIe
+figures are *per direction*. Pin counts: 160 processor pins per DDR channel
+(ECC-enabled), 4 pins per PCIe lane (2 TX + 2 RX differential pairs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class InterfaceGen:
+    """One interface generation's peak bandwidth and pin cost."""
+
+    name: str
+    year: int
+    bandwidth_gbps: float   # peak GB/s for the quoted unit
+    pins: int               # processor pins for that unit
+    per_direction: bool     # True if bandwidth is quoted per direction
+
+    @property
+    def bw_per_pin(self) -> float:
+        """GB/s per processor pin."""
+        return self.bandwidth_gbps / self.pins
+
+
+#: One channel each (64-bit data + ECC + CA ~ 160 pins driven to the CPU).
+DDR_GENERATIONS: List[InterfaceGen] = [
+    InterfaceGen("DDR3-1600", 2007, 12.8, 160, False),
+    InterfaceGen("DDR4-3200", 2014, 25.6, 160, False),
+    InterfaceGen("DDR5-4800", 2021, 38.4, 160, False),
+    InterfaceGen("DDR5-6400", 2023, 51.2, 160, False),
+]
+
+#: One lane each (4 pins).
+PCIE_GENERATIONS: List[InterfaceGen] = [
+    InterfaceGen("PCIe-1.0", 2003, 0.25, 4, True),
+    InterfaceGen("PCIe-2.0", 2007, 0.5, 4, True),
+    InterfaceGen("PCIe-3.0", 2010, 0.985, 4, True),
+    InterfaceGen("PCIe-4.0", 2017, 1.969, 4, True),
+    InterfaceGen("PCIe-5.0", 2019, 3.938, 4, True),
+    InterfaceGen("PCIe-6.0", 2022, 7.563, 4, True),
+]
+
+
+def bandwidth_per_pin_table(normalize_to: str = "PCIe-1.0") -> Dict[str, float]:
+    """Figure 1's series: bandwidth/pin for every generation, normalized.
+
+    Returns ``{name: normalized bandwidth-per-pin}``.
+    """
+    gens = DDR_GENERATIONS + PCIE_GENERATIONS
+    by_name = {g.name: g for g in gens}
+    if normalize_to not in by_name:
+        raise KeyError(f"unknown generation {normalize_to!r}")
+    ref = by_name[normalize_to].bw_per_pin
+    return {g.name: g.bw_per_pin / ref for g in gens}
+
+
+def pcie_vs_ddr_gap(pcie: str = "PCIe-5.0", ddr: str = "DDR5-4800") -> float:
+    """Current bandwidth-per-pin advantage of PCIe over DDR (paper: ~4x)."""
+    p = {g.name: g for g in PCIE_GENERATIONS}[pcie]
+    d = {g.name: g for g in DDR_GENERATIONS}[ddr]
+    return p.bw_per_pin / d.bw_per_pin

@@ -1,0 +1,56 @@
+"""Miss Status Holding Registers: merge and bound outstanding misses."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+
+class MSHRFile:
+    """Tracks outstanding line misses for one cache.
+
+    Secondary misses to a line already outstanding merge into the existing
+    entry; the file refuses new allocations when full (caller must retry
+    once an entry frees).
+    """
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise ValueError("MSHR file needs at least one entry")
+        self.entries = entries
+        self._table: Dict[int, List[Callable]] = {}
+        self.n_merges = 0
+        self.n_allocations = 0
+        self.n_full_rejections = 0
+
+    def allocate(self, line_addr: int, waiter: Optional[Callable] = None) -> Optional[str]:
+        """Try to track a miss for ``line_addr``.
+
+        Returns ``"primary"`` for a fresh entry, ``"merged"`` when the line
+        was already outstanding, or ``None`` when the file is full.
+        """
+        if line_addr in self._table:
+            if waiter is not None:
+                self._table[line_addr].append(waiter)
+            self.n_merges += 1
+            return "merged"
+        if len(self._table) >= self.entries:
+            self.n_full_rejections += 1
+            return None
+        self._table[line_addr] = [waiter] if waiter is not None else []
+        self.n_allocations += 1
+        return "primary"
+
+    def complete(self, line_addr: int) -> List[Callable]:
+        """Retire the entry; returns the merged waiters to notify."""
+        return self._table.pop(line_addr, [])
+
+    def outstanding(self, line_addr: int) -> bool:
+        return line_addr in self._table
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._table)
+
+    @property
+    def full(self) -> bool:
+        return len(self._table) >= self.entries

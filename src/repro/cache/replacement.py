@@ -1,0 +1,103 @@
+"""Replacement policies for :class:`~repro.cache.cache.CacheArray`.
+
+A policy manages the victim choice within one set. Sets are plain dicts
+mapping ``tag -> dirty_flag`` (plus policy-private metadata); policies see
+the set dict and maintain whatever recency state they need.
+
+- :class:`LRUPolicy` exploits Python dict insertion order: a touch removes
+  and reinserts the tag, so the first key is always the least recently used.
+- :class:`RandomPolicy` picks a uniformly random victim (cheap, used in
+  sensitivity studies).
+- :class:`SRRIPPolicy` implements Static RRIP with 2-bit re-reference
+  prediction values, the scan-resistant policy common in server LLCs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, Optional
+
+
+class LRUPolicy:
+    """Exact least-recently-used via ordered-dict reinsertion."""
+
+    name = "lru"
+
+    def on_hit(self, s: Dict[Hashable, bool], tag: Hashable) -> None:
+        dirty = s.pop(tag)
+        s[tag] = dirty
+
+    def on_fill(self, s: Dict[Hashable, bool], tag: Hashable, dirty: bool) -> None:
+        s[tag] = dirty
+
+    def victim(self, s: Dict[Hashable, bool]) -> Hashable:
+        return next(iter(s))
+
+
+class RandomPolicy:
+    """Uniform random victim selection (deterministic via seeded RNG)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 1234) -> None:
+        self._rng = random.Random(seed)
+
+    def on_hit(self, s: Dict[Hashable, bool], tag: Hashable) -> None:
+        pass
+
+    def on_fill(self, s: Dict[Hashable, bool], tag: Hashable, dirty: bool) -> None:
+        s[tag] = dirty
+
+    def victim(self, s: Dict[Hashable, bool]) -> Hashable:
+        keys = list(s)
+        return keys[self._rng.randrange(len(keys))]
+
+
+class SRRIPPolicy:
+    """Static RRIP (Jaleel et al.) with 2-bit RRPVs.
+
+    RRPV state lives in a side dict per policy instance keyed by
+    ``(set_id, tag)``; the :class:`~repro.cache.cache.CacheArray` passes a
+    stable ``set_id`` through ``bind_set``.
+    """
+
+    name = "srrip"
+    MAX_RRPV = 3
+
+    def __init__(self) -> None:
+        self._rrpv: Dict[int, Dict[Hashable, int]] = {}
+        self._cur_set = 0
+
+    def bind_set(self, set_id: int) -> None:
+        self._cur_set = set_id
+
+    def _meta(self, s: Dict[Hashable, bool]) -> Dict[Hashable, int]:
+        return self._rrpv.setdefault(self._cur_set, {})
+
+    def on_hit(self, s: Dict[Hashable, bool], tag: Hashable) -> None:
+        self._meta(s)[tag] = 0
+
+    def on_fill(self, s: Dict[Hashable, bool], tag: Hashable, dirty: bool) -> None:
+        s[tag] = dirty
+        self._meta(s)[tag] = self.MAX_RRPV - 1  # "long" re-reference
+
+    def victim(self, s: Dict[Hashable, bool]) -> Hashable:
+        meta = self._meta(s)
+        while True:
+            for tag in s:
+                if meta.get(tag, self.MAX_RRPV) >= self.MAX_RRPV:
+                    meta.pop(tag, None)
+                    return tag
+            for tag in s:
+                meta[tag] = min(self.MAX_RRPV, meta.get(tag, self.MAX_RRPV) + 1)
+
+
+def make_policy(name: str, seed: int = 1234):
+    """Factory: ``lru`` | ``random`` | ``srrip``."""
+    if name == "lru":
+        return LRUPolicy()
+    if name == "random":
+        return RandomPolicy(seed)
+    if name == "srrip":
+        return SRRIPPolicy()
+    raise ValueError(f"unknown replacement policy {name!r}")

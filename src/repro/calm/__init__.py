@@ -1,0 +1,27 @@
+"""Concurrent Access of LLC and Memory (CALM) — Section IV-C.
+
+On an L2 miss, a CALM access looks up the LLC and memory *in parallel*,
+removing the LLC (and its NoC legs) from the critical path of LLC-missing
+requests at the cost of memory bandwidth for LLC-hitting ones. The L2
+always waits for the LLC response to preserve coherence (the memory copy
+may be stale if the line is on chip).
+
+Policies decide per L2 miss whether to go CALM:
+
+- :class:`CalmR` — the paper's default: regulate CALM so estimated memory
+  bandwidth stays below ``R`` % of peak (``CALM_70%`` is COAXIAL's default);
+- :class:`MapIPredictor` — PC-indexed LLC hit/miss predictor (MAP-I);
+- :class:`IdealPredictor` — oracle that probes the LLC;
+- :class:`NeverCalm` / :class:`AlwaysCalm` — bounds for sensitivity studies.
+"""
+
+from repro.calm.policy import (
+    CalmPolicy, NeverCalm, AlwaysCalm, CalmR, IdealPredictor, make_calm_policy,
+)
+from repro.calm.mapi import MapIPredictor
+from repro.calm.stats import CalmStats
+
+__all__ = [
+    "CalmPolicy", "NeverCalm", "AlwaysCalm", "CalmR",
+    "MapIPredictor", "IdealPredictor", "CalmStats", "make_calm_policy",
+]

@@ -1,0 +1,51 @@
+"""MAP-I: PC-indexed LLC hit/miss predictor (Qureshi & Loh, MICRO'12).
+
+A table of saturating counters indexed by a hash of the missing load's PC.
+The counter increments on an observed LLC miss and decrements on a hit;
+the MSB predicts the next outcome for that PC. The paper uses MAP-I as the
+predictive alternative to bandwidth-regulated CALM_R.
+"""
+
+from __future__ import annotations
+
+
+class MapIPredictor:
+    """Miss-Address-Predictor, Instruction-based."""
+
+    def __init__(self, table_bits: int = 10, counter_bits: int = 3) -> None:
+        if table_bits < 1 or counter_bits < 1:
+            raise ValueError("table_bits and counter_bits must be >= 1")
+        self.size = 1 << table_bits
+        self.max_val = (1 << counter_bits) - 1
+        self.threshold = 1 << (counter_bits - 1)
+        # Initialize weakly towards "miss": bandwidth-rich systems prefer
+        # false positives over false negatives (paper Section VI-B).
+        self.table = [self.threshold] * self.size
+        self.predictions = 0
+        self.correct = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ (pc >> 11) ^ (pc >> 21)) & (self.size - 1)
+
+    def predict_miss(self, pc: int) -> bool:
+        """Predict whether a load at ``pc`` will miss the LLC."""
+        self.predictions += 1
+        return self.table[self._index(pc)] >= self.threshold
+
+    def train(self, pc: int, was_miss: bool) -> None:
+        """Update with the observed LLC outcome."""
+        i = self._index(pc)
+        v = self.table[i]
+        predicted_miss = v >= self.threshold
+        if predicted_miss == was_miss:
+            self.correct += 1
+        if was_miss:
+            if v < self.max_val:
+                self.table[i] = v + 1
+        elif v > 0:
+            self.table[i] = v - 1
+
+    @property
+    def accuracy(self) -> float:
+        trained = self.correct
+        return trained / self.predictions if self.predictions else 0.0

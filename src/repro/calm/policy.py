@@ -1,0 +1,179 @@
+"""CALM decision policies (paper Section IV-C).
+
+Every policy implements ``decide(pc, addr) -> bool`` (perform CALM?) and
+``observe(pc, addr, llc_hit)`` called once the LLC outcome is known, plus
+shared telemetry via :class:`~repro.calm.stats.CalmStats`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.calm.mapi import MapIPredictor
+from repro.calm.stats import CalmStats
+
+
+class CalmPolicy:
+    """Base policy: never CALM; subclasses override :meth:`decide`."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.stats = CalmStats()
+
+    def decide(self, pc: int, addr: int) -> bool:
+        raise NotImplementedError
+
+    def observe(self, pc: int, addr: int, llc_hit: bool, was_calm: bool) -> None:
+        """Record the LLC outcome for telemetry and (optionally) training."""
+        self.stats.record(was_calm, llc_hit)
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+
+
+class NeverCalm(CalmPolicy):
+    """Serial LLC-then-memory access (the conventional hierarchy)."""
+
+    name = "never"
+
+    def decide(self, pc: int, addr: int) -> bool:
+        return False
+
+
+class AlwaysCalm(CalmPolicy):
+    """Every L2 miss probes memory concurrently (upper bound on traffic)."""
+
+    name = "always"
+
+    def decide(self, pc: int, addr: int) -> bool:
+        return True
+
+
+class CalmR(CalmPolicy):
+    """Bandwidth-regulated CALM (the paper's ``CALM_R``, default R = 70%).
+
+    Epoch counters estimate the chip's memory bandwidth demand with the LLC
+    filtering (``bw_filtered``: L2 misses that also miss LLC) and without
+    (``bw_unfiltered``: all L2 misses). If the filtered demand already
+    exceeds ``R x bw_max``, CALM is suppressed; otherwise an L2 miss goes
+    CALM with probability ``min(1, (R - bw_filtered) / bw_unfiltered)``.
+
+    Parameters
+    ----------
+    r_fraction:
+        Bandwidth cap as a fraction of peak (0.7 for CALM_70%).
+    peak_bandwidth_gbps:
+        System memory read bandwidth ceiling (set by the system builder).
+    epoch_ns:
+        Estimation epoch; rates from the previous epoch drive decisions.
+    """
+
+    def __init__(
+        self,
+        r_fraction: float = 0.7,
+        peak_bandwidth_gbps: float = 38.4,
+        epoch_ns: float = 2000.0,
+        now_fn: Optional[Callable[[], float]] = None,
+        seed: int = 42,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < r_fraction <= 1.0:
+            raise ValueError("r_fraction must be in (0, 1]")
+        self.name = f"calm_{int(round(r_fraction * 100))}"
+        self.r_fraction = r_fraction
+        self.peak_bandwidth_gbps = peak_bandwidth_gbps
+        self.epoch_ns = epoch_ns
+        self.now_fn = now_fn or (lambda: 0.0)
+        self._rng = random.Random(seed)
+        self._epoch_start = 0.0
+        self._l2_misses_epoch = 0
+        self._llc_misses_epoch = 0
+        # Previous-epoch rate estimates (GB/s).
+        self.bw_unfiltered = 0.0
+        self.bw_filtered = 0.0
+
+    def _roll_epoch(self, now: float) -> None:
+        elapsed = now - self._epoch_start
+        if elapsed < self.epoch_ns:
+            return
+        self.bw_unfiltered = self._l2_misses_epoch * 64.0 / elapsed
+        self.bw_filtered = self._llc_misses_epoch * 64.0 / elapsed
+        self._epoch_start = now
+        self._l2_misses_epoch = 0
+        self._llc_misses_epoch = 0
+
+    def decide(self, pc: int, addr: int) -> bool:
+        now = self.now_fn()
+        self._roll_epoch(now)
+        self._l2_misses_epoch += 1
+        cap = self.r_fraction * self.peak_bandwidth_gbps
+        if self.bw_filtered >= cap:
+            return False
+        if self.bw_unfiltered <= 0.0:
+            return True  # no estimate yet: bandwidth headroom is certain
+        p = min(1.0, (cap - self.bw_filtered) / self.bw_unfiltered)
+        return self._rng.random() < p
+
+    def observe(self, pc: int, addr: int, llc_hit: bool, was_calm: bool) -> None:
+        super().observe(pc, addr, llc_hit, was_calm)
+        if not llc_hit:
+            self._llc_misses_epoch += 1
+
+
+class MapICalm(CalmPolicy):
+    """CALM driven by the MAP-I LLC hit/miss predictor."""
+
+    name = "mapi"
+
+    def __init__(self, table_bits: int = 10) -> None:
+        super().__init__()
+        self.predictor = MapIPredictor(table_bits=table_bits)
+
+    def decide(self, pc: int, addr: int) -> bool:
+        return self.predictor.predict_miss(pc)
+
+    def observe(self, pc: int, addr: int, llc_hit: bool, was_calm: bool) -> None:
+        super().observe(pc, addr, llc_hit, was_calm)
+        self.predictor.train(pc, not llc_hit)
+
+
+class IdealPredictor(CalmPolicy):
+    """Oracle CALM: probes the actual LLC state at decision time.
+
+    The system builder wires ``probe_fn(addr) -> bool`` (present?) after the
+    LLC slices exist.
+    """
+
+    name = "ideal"
+
+    def __init__(self, probe_fn: Optional[Callable[[int], bool]] = None) -> None:
+        super().__init__()
+        self.probe_fn = probe_fn
+
+    def decide(self, pc: int, addr: int) -> bool:
+        if self.probe_fn is None:
+            raise RuntimeError("IdealPredictor.probe_fn is not wired")
+        return not self.probe_fn(addr)
+
+
+def make_calm_policy(spec: str, peak_bandwidth_gbps: float = 38.4,
+                     now_fn: Optional[Callable[[], float]] = None) -> CalmPolicy:
+    """Build a policy from a spec string.
+
+    Specs: ``never`` | ``always`` | ``mapi`` | ``ideal`` | ``calm_50`` /
+    ``calm_60`` / ``calm_70`` / ... (any ``calm_<percent>``).
+    """
+    if spec == "never":
+        return NeverCalm()
+    if spec == "always":
+        return AlwaysCalm()
+    if spec == "mapi":
+        return MapICalm()
+    if spec == "ideal":
+        return IdealPredictor()
+    if spec.startswith("calm_"):
+        pct = float(spec.split("_", 1)[1])
+        return CalmR(pct / 100.0, peak_bandwidth_gbps, now_fn=now_fn)
+    raise ValueError(f"unknown CALM policy spec {spec!r}")

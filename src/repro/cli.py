@@ -1,0 +1,208 @@
+"""Command-line interface: run COAXIAL experiments without writing code.
+
+Examples
+--------
+::
+
+    python -m repro list
+    python -m repro run --config coaxial-4x --workload stream-copy
+    python -m repro compare --workloads stream-copy,PageRank,gcc
+    python -m repro curve --loads 0.1,0.3,0.5,0.6
+    python -m repro area
+    python -m repro power --base-cpi 2.05 --coax-cpi 1.48
+    python -m repro cost --capacity 3072
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis import format_table, geomean
+from repro.analysis.figures import bar_chart
+from repro.area import bandwidth_per_pin_table, server_design_table
+from repro.area.cost import iso_capacity_comparison
+from repro.dram import load_latency_curve
+from repro.power import energy_report, system_power
+from repro.system.config import ALL_CONFIGS
+from repro.system.sim import simulate
+from repro.workloads import SUITES, get_workload, workload_names
+
+
+def _parse_list(text: str) -> List[str]:
+    return [x.strip() for x in text.split(",") if x.strip()]
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("configurations:")
+    for name in ALL_CONFIGS:
+        print(f"  {name}")
+    print("\nworkloads (by suite):")
+    for suite, names in SUITES.items():
+        print(f"  {suite}: {', '.join(names)}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    cfg = ALL_CONFIGS[args.config]()
+    if args.calm:
+        cfg = cfg.replace(calm_policy=args.calm)
+    if args.active_cores:
+        cfg = cfg.replace(active_cores=args.active_cores)
+    wl = get_workload(args.workload)
+    r = simulate(cfg, wl, ops_per_core=args.ops, seed=args.seed)
+    print(r.summary())
+    print(f"  p90 miss latency : {r.p90_miss_latency:.1f} ns")
+    print(f"  read/write BW    : {r.read_bandwidth_gbps:.1f} / "
+          f"{r.write_bandwidth_gbps:.1f} GB/s")
+    print(f"  LLC hit rate     : {100 * r.llc_hit_rate:.1f}%")
+    if cfg.calm_policy != "never":
+        print(f"  CALM fraction    : {100 * r.calm_fraction:.1f}% "
+              f"(fp {100 * r.calm_false_pos_rate:.1f}%, "
+              f"fn {100 * r.calm_false_neg_rate:.1f}%)")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    workloads = _parse_list(args.workloads)
+    configs = _parse_list(args.configs)
+    for c in configs:
+        if c not in ALL_CONFIGS:
+            print(f"unknown config {c!r}; choose from {list(ALL_CONFIGS)}",
+                  file=sys.stderr)
+            return 2
+    base_cfg = ALL_CONFIGS[args.baseline]()
+    rows = []
+    chart = {}
+    for w in workloads:
+        wl = get_workload(w)
+        base = simulate(base_cfg, wl, ops_per_core=args.ops, seed=args.seed)
+        for c in configs:
+            r = simulate(ALL_CONFIGS[c](), wl, ops_per_core=args.ops,
+                         seed=args.seed)
+            sp = r.speedup_over(base)
+            chart[f"{w} ({c})"] = sp
+            rows.append([w, c, base.ipc, r.ipc, sp,
+                         base.avg_miss_latency, r.avg_miss_latency])
+    print(format_table(
+        ["workload", "config", "base IPC", "IPC", "speedup",
+         "base misslat", "misslat"], rows))
+    speedups = [row[4] for row in rows]
+    print(f"\ngeomean speedup: {geomean(speedups):.2f}x\n")
+    print(bar_chart(chart, title="speedup vs baseline", unit="x", reference=1.0))
+    return 0
+
+
+def cmd_curve(args: argparse.Namespace) -> int:
+    loads = [float(x) for x in _parse_list(args.loads)]
+    pts = load_latency_curve(loads, n_requests=args.requests)
+    rows = [[f"{p.target_utilization:.0%}", f"{p.achieved_utilization:.0%}",
+             p.mean_latency, p.p50_latency, p.p90_latency, p.p99_latency]
+            for p in pts]
+    print(format_table(["load", "achieved", "mean", "p50", "p90", "p99"], rows))
+    return 0
+
+
+def cmd_area(args: argparse.Namespace) -> int:
+    print("bandwidth per pin (normalized to PCIe-1.0):")
+    for name, v in bandwidth_per_pin_table().items():
+        print(f"  {name:12s} {v:8.2f}")
+    print()
+    rows = [[r["design"], r["cores"], r["llc_per_core_mb"], r["ddr_channels"],
+             r["cxl_channels"], r["relative_bw"], r["relative_area"]]
+            for r in server_design_table()]
+    print(format_table(
+        ["design", "cores", "LLC/core MB", "DDR", "CXL", "rel BW", "rel area"],
+        rows))
+    return 0
+
+
+def cmd_power(args: argparse.Namespace) -> int:
+    base_p = system_power("DDR-based", 12, 0, 288, args.base_util)
+    coax_p = system_power("COAXIAL", 48, 384, 144, args.coax_util)
+    base_e = energy_report(base_p, args.base_cpi)
+    coax_e = energy_report(coax_p, args.coax_cpi)
+    rows = [[e.name, e.power_w, e.cpi, e.edp, e.ed2p,
+             1000 * e.perf_per_watt] for e in (base_e, coax_e)]
+    print(format_table(
+        ["system", "power W", "CPI", "EDP", "ED^2P", "perf/W x1e3"], rows))
+    print(f"EDP ratio {coax_e.edp / base_e.edp:.2f}, "
+          f"ED^2P ratio {coax_e.ed2p / base_e.ed2p:.2f}")
+    return 0
+
+
+def cmd_cost(args: argparse.Namespace) -> int:
+    rows = iso_capacity_comparison(capacity_gb=args.capacity)
+    print(format_table(
+        ["system", "channels", "DIMM GB", "DPC", "capacity GB",
+         "rel cost", "cost/GB", "rel BW"],
+        [[r["system"], r["channels"], r["dimm_gb"], r["dpc"],
+          r["capacity_gb"], r["relative_cost"], r["cost_per_gb"],
+          r["relative_bw"]] for r in rows]))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="COAXIAL CXL-centric memory system simulator (SC'24 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list configurations and workloads") \
+       .set_defaults(fn=cmd_list)
+
+    pr = sub.add_parser("run", help="simulate one config x workload")
+    pr.add_argument("--config", default="coaxial-4x", choices=list(ALL_CONFIGS))
+    pr.add_argument("--workload", default="stream-copy")
+    pr.add_argument("--ops", type=int, default=None,
+                    help="memory ops per core (default: workload default)")
+    pr.add_argument("--seed", type=int, default=1)
+    pr.add_argument("--calm", default=None,
+                    help="override CALM policy (never/calm_70/mapi/ideal)")
+    pr.add_argument("--active-cores", type=int, default=None)
+    pr.set_defaults(fn=cmd_run)
+
+    pc = sub.add_parser("compare", help="speedup of configs over a baseline")
+    pc.add_argument("--workloads", default="stream-copy,PageRank,gcc")
+    pc.add_argument("--configs", default="coaxial-4x")
+    pc.add_argument("--baseline", default="ddr-baseline",
+                    choices=list(ALL_CONFIGS))
+    pc.add_argument("--ops", type=int, default=None)
+    pc.add_argument("--seed", type=int, default=1)
+    pc.set_defaults(fn=cmd_compare)
+
+    pv = sub.add_parser("curve", help="DDR load-latency curve (Fig 2a)")
+    pv.add_argument("--loads", default="0.1,0.3,0.5,0.6")
+    pv.add_argument("--requests", type=int, default=2500)
+    pv.set_defaults(fn=cmd_curve)
+
+    sub.add_parser("area", help="pin/area tables (Fig 1, Tables I-II)") \
+       .set_defaults(fn=cmd_area)
+
+    pw = sub.add_parser("power", help="power/EDP comparison (Table V)")
+    pw.add_argument("--base-cpi", type=float, default=2.05)
+    pw.add_argument("--coax-cpi", type=float, default=1.48)
+    pw.add_argument("--base-util", type=float, default=0.54)
+    pw.add_argument("--coax-util", type=float, default=0.34)
+    pw.set_defaults(fn=cmd_power)
+
+    pk = sub.add_parser("cost", help="iso-capacity cost comparison (Sec IV-E)")
+    pk.add_argument("--capacity", type=int, default=3072)
+    pk.set_defaults(fn=cmd_cost)
+    return p
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except KeyError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

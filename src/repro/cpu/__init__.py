@@ -1,0 +1,20 @@
+"""Trace-driven out-of-order core model (the ChampSim role).
+
+A :class:`~repro.cpu.core.Core` consumes a :class:`~repro.cpu.trace.Trace`
+of memory operations separated by non-memory instruction gaps. The model
+captures exactly the core-side effects the paper's results depend on:
+
+- a finite reorder buffer (256 entries) that stalls dispatch when a
+  long-latency load reaches its head,
+- dependency chains between loads (bounding memory-level parallelism),
+- a bounded number of outstanding misses (MSHRs),
+- posted stores that consume bandwidth without stalling retirement.
+
+IPC therefore responds to memory latency and bandwidth the same way the
+paper's simulated cores do.
+"""
+
+from repro.cpu.trace import Trace, TRACE_DTYPE, concat_traces
+from repro.cpu.core import Core, CoreParams
+
+__all__ = ["Trace", "TRACE_DTYPE", "concat_traces", "Core", "CoreParams"]

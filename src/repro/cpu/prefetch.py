@@ -1,0 +1,98 @@
+"""L2 hardware prefetchers (optional extension).
+
+ChampSim cores — the paper's substrate — ship with L1/L2 prefetchers.
+This module provides the two standard baseline designs so users can study
+their interaction with COAXIAL's bandwidth abundance (prefetching trades
+bandwidth for latency exactly like CALM does):
+
+- :class:`NextLinePrefetcher`: on a miss to line N, prefetch N+1..N+degree;
+- :class:`StridePrefetcher`: classic PC-indexed stride detector (IP-stride)
+  with confidence, covering strided sweeps with non-unit strides.
+
+Prefetchers are **off by default** (``SystemConfig.prefetcher = "none"``)
+so the workload calibration against Table IV is unaffected; enable via
+``prefetcher="nextline"`` or ``"stride"``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+LINE = 64
+
+
+class NextLinePrefetcher:
+    """Prefetch the next ``degree`` sequential lines on every miss."""
+
+    name = "nextline"
+
+    def __init__(self, degree: int = 2) -> None:
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.degree = degree
+        self.issued = 0
+
+    def on_miss(self, addr: int, pc: int) -> List[int]:
+        """Return line addresses to prefetch for a miss at ``addr``."""
+        line = addr & ~(LINE - 1)
+        out = [line + LINE * (i + 1) for i in range(self.degree)]
+        self.issued += len(out)
+        return out
+
+
+class StridePrefetcher:
+    """IP-stride prefetcher with 2-bit confidence.
+
+    Tracks, per load PC, the last address and last stride; two consecutive
+    equal strides arm the entry, after which misses prefetch
+    ``degree`` strides ahead.
+    """
+
+    name = "stride"
+
+    def __init__(self, degree: int = 2, table_size: int = 256) -> None:
+        if degree < 1 or table_size < 1:
+            raise ValueError("degree and table_size must be >= 1")
+        self.degree = degree
+        self.table_size = table_size
+        self._table: Dict[int, List[int]] = {}  # pc -> [last_addr, stride, conf]
+        self.issued = 0
+
+    def on_miss(self, addr: int, pc: int) -> List[int]:
+        entry = self._table.get(pc)
+        out: List[int] = []
+        if entry is None:
+            if len(self._table) >= self.table_size:
+                self._table.pop(next(iter(self._table)))
+            self._table[pc] = [addr, 0, 0]
+            return out
+        last, stride, conf = entry
+        new_stride = addr - last
+        if new_stride == stride and stride != 0:
+            conf = min(3, conf + 1)
+        else:
+            conf = max(0, conf - 1)
+        entry[0] = addr
+        entry[1] = new_stride if new_stride != 0 else stride
+        entry[2] = conf
+        if conf >= 2 and entry[1] != 0:
+            base = addr & ~(LINE - 1)
+            seen = set()
+            for i in range(1, self.degree + 1):
+                target = (addr + entry[1] * i) & ~(LINE - 1)
+                if target != base and target not in seen and target > 0:
+                    seen.add(target)
+                    out.append(target)
+            self.issued += len(out)
+        return out
+
+
+def make_prefetcher(spec: str, degree: int = 2):
+    """Factory: ``none`` | ``nextline`` | ``stride``."""
+    if spec == "none":
+        return None
+    if spec == "nextline":
+        return NextLinePrefetcher(degree)
+    if spec == "stride":
+        return StridePrefetcher(degree)
+    raise ValueError(f"unknown prefetcher {spec!r}")

@@ -1,0 +1,116 @@
+"""Memory-operation trace container.
+
+A trace is a numpy structured array with one record per memory operation:
+
+- ``gap``      — non-memory instructions dispatched before this op
+- ``addr``     — byte address touched (any alignment; caches use the line)
+- ``is_write`` — 1 for stores (posted; never a dependency source)
+- ``pc``       — program counter (drives the MAP-I predictor)
+- ``dep``      — backward distance to the load this op depends on
+                 (0 = independent; ``i - dep`` must be a load)
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+TRACE_DTYPE = np.dtype([
+    ("gap", np.uint16),
+    ("addr", np.uint64),
+    ("is_write", np.uint8),
+    ("pc", np.uint32),
+    ("dep", np.int32),
+])
+
+
+class Trace:
+    """Validated wrapper around a trace record array."""
+
+    def __init__(self, arr: np.ndarray, name: str = "trace") -> None:
+        if arr.dtype != TRACE_DTYPE:
+            raise ValueError(f"trace array must have dtype TRACE_DTYPE, got {arr.dtype}")
+        self.arr = arr
+        self.name = name
+        self._validate()
+
+    def _validate(self) -> None:
+        deps = self.arr["dep"]
+        if (deps < 0).any():
+            raise ValueError("dep distances must be >= 0")
+        idx = np.nonzero(deps)[0]
+        if len(idx) and (deps[idx] > idx).any():
+            raise ValueError("dep distance reaches before the start of the trace")
+        if len(idx):
+            src = idx - deps[idx]
+            if self.arr["is_write"][src].any():
+                raise ValueError("dependencies must point at loads, not stores")
+
+    @property
+    def n_ops(self) -> int:
+        """Number of memory operations."""
+        return len(self.arr)
+
+    @property
+    def n_instrs(self) -> int:
+        """Total instructions represented (gaps + memory ops)."""
+        return int(self.arr["gap"].sum()) + len(self.arr)
+
+    @property
+    def write_fraction(self) -> float:
+        return float(self.arr["is_write"].mean()) if len(self.arr) else 0.0
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """Sub-trace of ops [start, stop); dependency edges crossing the
+        boundary are cut (become independent)."""
+        sub = self.arr[start:stop].copy()
+        deps = sub["dep"]
+        idx = np.arange(len(sub))
+        cut = deps > idx
+        sub["dep"][cut] = 0
+        return Trace(sub, f"{self.name}[{start}:{stop}]")
+
+    def split(self, warmup_ops: int) -> "tuple[Trace, Trace]":
+        """Split into (warmup, measurement) traces."""
+        if not 0 <= warmup_ops <= self.n_ops:
+            raise ValueError("warmup_ops out of range")
+        return self.slice(0, warmup_ops), self.slice(warmup_ops, self.n_ops)
+
+    def __len__(self) -> int:
+        return len(self.arr)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Trace {self.name}: {self.n_ops} ops, {self.n_instrs} instrs>"
+
+
+def make_trace(gap, addr, is_write, pc, dep, name: str = "trace") -> Trace:
+    """Build a trace from parallel sequences (convenience for generators)."""
+    n = len(addr)
+    arr = np.empty(n, dtype=TRACE_DTYPE)
+    arr["gap"] = gap
+    arr["addr"] = addr
+    arr["is_write"] = is_write
+    arr["pc"] = pc
+    arr["dep"] = dep
+    return Trace(arr, name)
+
+
+def concat_traces(traces: Sequence[Trace], name: str = "concat") -> Trace:
+    """Concatenate traces back to back (dependencies stay within pieces)."""
+    if not traces:
+        raise ValueError("need at least one trace")
+    return Trace(np.concatenate([t.arr for t in traces]), name)
+
+
+def save_trace(trace: Trace, path) -> None:
+    """Persist a trace to a compressed ``.npz`` file."""
+    np.savez_compressed(path, records=trace.arr, name=np.array(trace.name))
+
+
+def load_trace(path) -> Trace:
+    """Load a trace saved by :func:`save_trace`."""
+    with np.load(path, allow_pickle=False) as data:
+        arr = np.ascontiguousarray(data["records"])
+        name = str(data["name"])
+    return Trace(arr, name)

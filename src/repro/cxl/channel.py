@@ -1,0 +1,87 @@
+"""A CXL channel: CPU-side port + serial links + Type-3 device.
+
+This is the memory-port abstraction COAXIAL systems plug into the system
+builder: it accepts :class:`~repro.request.MemRequest` objects, carries
+them over the bandwidth-limited TX link to the device's DDR controller,
+and returns read data over the RX link. All four port traversals and both
+link serializations are modelled, so both the unloaded latency premium
+(~52.5 ns for reads) and loaded link queuing emerge.
+
+The time a request spends crossing ports/links (including link queuing)
+accumulates into ``req.cxl_delay`` so latency breakdowns can report the
+CXL interface component separately (paper Figures 5/10).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine import Component, Simulator
+from repro.cxl.device import CxlType3Device
+from repro.cxl.link import CxlLinkParams, SerialLink, X8_CXL
+from repro.dram.timing import DDR5Timing
+from repro.request import MemRequest, READ
+
+
+class CxlChannel(Component):
+    """One CXL channel attaching a Type-3 device to the processor."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        params: CxlLinkParams = X8_CXL,
+        n_ddr_channels: int = 1,
+        timing: Optional[DDR5Timing] = None,
+        system_channels: int = 1,
+    ) -> None:
+        super().__init__(sim, name)
+        self.params = params
+        self.tx = SerialLink(params.tx_goodput_gbps)
+        self.rx = SerialLink(params.rx_goodput_gbps)
+        self.device = CxlType3Device(
+            sim, f"{name}.dev", n_ddr_channels, timing,
+            response_fn=self._on_dram_response,
+            system_channels=system_channels,
+        )
+
+    # -- CPU-side entry point -------------------------------------------------
+    def submit(self, req: MemRequest) -> None:
+        """Send a request towards the device over the TX direction."""
+        now = self.sim.now
+        p = self.params
+        if req.kind == READ:
+            nbytes = p.req_bytes
+            self.bump("reads")
+        else:
+            nbytes = 64 + p.header_bytes
+            self.bump("writes")
+        # CPU egress port, TX wire, device ingress port.
+        arrive = self.tx.transfer(now + p.port_latency_ns, nbytes) + p.port_latency_ns
+        req.cxl_delay += arrive - now
+        self.bump("tx_bytes", nbytes)
+        self.sim.schedule_at(arrive, self.device.submit, req)
+
+    # -- device-side response path ---------------------------------------------
+    def _on_dram_response(self, req: MemRequest) -> None:
+        now = self.sim.now
+        p = self.params
+        nbytes = 64 + p.header_bytes
+        arrive = self.rx.transfer(now + p.port_latency_ns, nbytes) + p.port_latency_ns
+        req.cxl_delay += arrive - now
+        self.bump("rx_bytes", nbytes)
+        self.sim.schedule_at(arrive, self._deliver, req)
+
+    def _deliver(self, req: MemRequest) -> None:
+        if req.callback is not None:
+            req.callback(req)
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def peak_bandwidth_gbps(self) -> float:
+        """Device-side DDR bandwidth behind this channel (read path)."""
+        return self.device.peak_bandwidth_gbps
+
+    def min_read_premium_ns(self) -> float:
+        """Unloaded latency this channel adds to a read."""
+        return self.params.min_read_latency_ns()

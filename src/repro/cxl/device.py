@@ -1,0 +1,63 @@
+"""Type-3 CXL memory expansion device.
+
+A Type-3 device is a CXL target with one or more unmodified DDR5 memory
+controllers behind it (paper Figure 3b). COAXIAL's default devices carry
+one DDR5 channel; COAXIAL-asym devices carry two (Section IV-D), consuming
+the extra read bandwidth of the asymmetric link.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.engine import Component, Simulator
+from repro.dram.controller import DDRChannel
+from repro.dram.mapping import LINE_SHIFT
+from repro.dram.timing import DDR5Timing
+from repro.request import MemRequest
+
+
+class CxlType3Device(Component):
+    """DDR channels packaged behind a CXL target port."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        n_ddr_channels: int = 1,
+        timing: Optional[DDR5Timing] = None,
+        response_fn: Optional[Callable[[MemRequest], None]] = None,
+        system_channels: int = 1,
+    ) -> None:
+        """``system_channels`` is the system-wide DDR-channel count; the
+        device's local channel select and its controllers' bank decode use
+        the global channel index so they stay uncorrelated with the
+        upstream CXL-port interleave."""
+        super().__init__(sim, name)
+        if n_ddr_channels < 1:
+            raise ValueError("device needs at least one DDR channel")
+        self.system_channels = max(system_channels, n_ddr_channels)
+        self.channels: List[DDRChannel] = [
+            DDRChannel(sim, f"{name}.ddr{i}", timing,
+                       response_fn=self._on_dram_response,
+                       system_channels=self.system_channels)
+            for i in range(n_ddr_channels)
+        ]
+        self.response_fn = response_fn
+
+    def submit(self, req: MemRequest) -> None:
+        """Route a request to the device-local DDR channel by address."""
+        g = (req.addr >> LINE_SHIFT) % self.system_channels
+        chan = self.channels[g % len(self.channels)]
+        chan.enqueue(req)
+
+    def _on_dram_response(self, req: MemRequest) -> None:
+        if self.response_fn is not None:
+            self.response_fn(req)
+        elif req.callback is not None:
+            req.callback(req)
+
+    @property
+    def peak_bandwidth_gbps(self) -> float:
+        """Aggregate DDR bandwidth on the device."""
+        return sum(c.peak_bandwidth_gbps for c in self.channels)

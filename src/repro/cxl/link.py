@@ -1,0 +1,97 @@
+"""Serial link and channel parameter models for CXL over PCIe lanes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CxlLinkParams:
+    """Performance parameters of one CXL channel.
+
+    ``port_latency_ns`` is paid once per port traversal; a round trip
+    crosses four ports (CPU egress, device ingress, device egress, CPU
+    ingress). Goodputs are post-header effective bandwidths.
+    """
+
+    name: str = "x8-cxl"
+    lanes_rx: int = 8
+    lanes_tx: int = 8
+    rx_goodput_gbps: float = 26.0    # device -> CPU (read data)
+    tx_goodput_gbps: float = 13.0    # CPU -> device (write data, requests)
+    port_latency_ns: float = 12.5
+    header_bytes: int = 8
+    req_bytes: int = 8               # read-request control message
+
+    @property
+    def pins(self) -> int:
+        """Processor pins consumed (2 per lane per direction)."""
+        return 2 * (self.lanes_rx + self.lanes_tx)
+
+    def read_response_ser_ns(self) -> float:
+        """Serialization of a 64 B read response on the RX direction."""
+        return 64.0 / self.rx_goodput_gbps
+
+    def write_ser_ns(self) -> float:
+        """Serialization of a 64 B write (plus header) on the TX direction."""
+        return (64.0 + self.header_bytes) / self.tx_goodput_gbps
+
+    def request_ser_ns(self) -> float:
+        """Serialization of a read-request message on the TX direction."""
+        return self.req_bytes / self.tx_goodput_gbps
+
+    def min_read_latency_ns(self) -> float:
+        """Unloaded latency a read gains versus direct DDR attach."""
+        return 4 * self.port_latency_ns + self.read_response_ser_ns() + self.request_ser_ns()
+
+
+#: Default x8 CXL channel (32 pins): 26/13 GB/s RX/TX goodput.
+X8_CXL = CxlLinkParams()
+
+#: Asymmetric 20RX/12TX-pin channel (Section IV-D): 32/10 GB/s goodput.
+X8_CXL_ASYM = CxlLinkParams(
+    name="x8-cxl-asym",
+    lanes_rx=10, lanes_tx=6,
+    rx_goodput_gbps=32.0, tx_goodput_gbps=10.0,
+)
+
+#: An OMI-like low-latency serial channel (Section VII): ~10 ns premium.
+OMI_LIKE = CxlLinkParams(name="omi-like", port_latency_ns=2.0)
+
+
+class SerialLink:
+    """A bandwidth-reserved unidirectional serial link.
+
+    Messages serialize at the link's goodput; a busy link queues messages
+    FIFO. ``transfer`` reserves the next slot and returns the arrival time
+    of the message's last bit.
+    """
+
+    __slots__ = ("goodput_gbps", "next_free", "bytes_moved")
+
+    def __init__(self, goodput_gbps: float) -> None:
+        if goodput_gbps <= 0:
+            raise ValueError("goodput must be positive")
+        self.goodput_gbps = goodput_gbps
+        self.next_free = 0.0
+        self.bytes_moved = 0.0
+
+    def transfer(self, now: float, nbytes: float) -> float:
+        """Reserve the link for ``nbytes`` starting no earlier than ``now``.
+
+        Returns the completion (arrival) time; queuing shows up as
+        ``completion - now - nbytes/goodput``.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        start = max(now, self.next_free)
+        end = start + nbytes / self.goodput_gbps
+        self.next_free = end
+        self.bytes_moved += nbytes
+        return end
+
+    def utilization(self, elapsed_ns: float) -> float:
+        """Fraction of link bandwidth used over ``elapsed_ns``."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return (self.bytes_moved / elapsed_ns) / self.goodput_gbps

@@ -1,0 +1,18 @@
+"""DDR5 DRAM substrate: timing, banks, FR-FCFS controller, probe, power.
+
+This package plays the role DRAMsim3 plays in the paper: a timing-accurate
+(at command granularity) DDR5-4800 channel model whose queuing behaviour
+produces the load-latency curve of Figure 2a and the queuing-delay component
+of every other experiment.
+"""
+
+from repro.dram.timing import DDR5Timing, DDR5_4800
+from repro.dram.mapping import AddressMapping
+from repro.dram.bank import Bank, Rank
+from repro.dram.controller import DDRChannel
+from repro.dram.probe import LoadLatencyProbe, load_latency_curve
+
+__all__ = [
+    "DDR5Timing", "DDR5_4800", "AddressMapping", "Bank", "Rank",
+    "DDRChannel", "LoadLatencyProbe", "load_latency_curve",
+]

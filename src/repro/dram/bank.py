@@ -1,0 +1,108 @@
+"""Bank and rank timing state machines.
+
+Each :class:`Bank` tracks its open row and the earliest times the next
+ACT/RD/WR/PRE may issue, honouring tRCD/tRP/tRAS/tWR/tRTP. Each
+:class:`Rank` tracks the rolling four-activate window (tFAW), ACT-to-ACT
+spacing (tRRD) and refresh (tREFI/tRFC) blackout windows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.dram.timing import DDR5Timing
+
+
+class Bank:
+    """Timing state of a single DRAM bank.
+
+    ``use_count`` increments on every ACT/RD/WR so deferred-close logic can
+    detect whether the bank was touched since a close was scheduled.
+    """
+
+    __slots__ = ("open_row", "next_act", "next_rd", "next_wr", "next_pre",
+                 "row_opened_at", "use_count")
+
+    def __init__(self) -> None:
+        self.open_row: Optional[int] = None
+        self.next_act = 0.0
+        self.next_rd = 0.0
+        self.next_wr = 0.0
+        self.next_pre = 0.0
+        self.row_opened_at = 0.0
+        self.use_count = 0
+
+    def is_row_hit(self, row: int) -> bool:
+        return self.open_row == row
+
+    def activate(self, t: float, row: int, tm: DDR5Timing) -> None:
+        """Issue ACT at time ``t`` for ``row``; updates bank-local windows."""
+        self.open_row = row
+        self.row_opened_at = t
+        self.use_count += 1
+        self.next_rd = max(self.next_rd, t + tm.tRCD)
+        self.next_wr = max(self.next_wr, t + tm.tRCD)
+        self.next_pre = max(self.next_pre, t + tm.tRAS)
+        self.next_act = max(self.next_act, t + tm.tRAS + tm.tRP)
+
+    def precharge(self, t: float, tm: DDR5Timing) -> None:
+        """Issue PRE at time ``t``; the bank closes and may re-ACT after tRP."""
+        self.open_row = None
+        self.next_act = max(self.next_act, t + tm.tRP)
+
+    def read(self, t: float, tm: DDR5Timing) -> None:
+        """Issue RD at time ``t``; pushes out the earliest PRE (tRTP)."""
+        self.use_count += 1
+        self.next_pre = max(self.next_pre, t + tm.tRTP)
+
+    def write(self, t: float, tm: DDR5Timing) -> None:
+        """Issue WR at time ``t``; write recovery gates the next PRE."""
+        self.use_count += 1
+        self.next_pre = max(self.next_pre, t + tm.tCWL + tm.tBURST + tm.tWR)
+
+
+class Rank:
+    """Rank-level constraints: tFAW, tRRD, and periodic refresh."""
+
+    __slots__ = ("tm", "banks", "act_history", "next_act_any", "next_refresh", "refresh_end", "refreshes_done")
+
+    def __init__(self, tm: DDR5Timing, banks: int) -> None:
+        self.tm = tm
+        self.banks: List[Bank] = [Bank() for _ in range(banks)]
+        self.act_history: List[float] = []   # last 4 ACT times (rolling)
+        self.next_act_any = 0.0              # tRRD constraint
+        self.next_refresh = tm.tREFI
+        self.refresh_end = 0.0
+        self.refreshes_done = 0
+
+    def refresh_blackout(self, t: float) -> float:
+        """Advance refresh bookkeeping to time ``t``.
+
+        Returns the earliest time >= ``t`` at which a command may issue, i.e.
+        ``t`` pushed past any refresh window it falls into. Refreshes that
+        became due are considered executed at their due time (all-bank).
+        """
+        while t >= self.next_refresh:
+            start = self.next_refresh
+            self.refresh_end = start + self.tm.tRFC
+            self.next_refresh = start + self.tm.tREFI
+            self.refreshes_done += 1
+            if t < self.refresh_end:
+                t = self.refresh_end
+        return max(t, self.refresh_end if t < self.refresh_end else t)
+
+    def earliest_act(self, t: float) -> float:
+        """Earliest time >= ``t`` an ACT may issue on this rank (tFAW/tRRD)."""
+        t = max(t, self.next_act_any)
+        if len(self.act_history) >= 4:
+            t = max(t, self.act_history[-4] + self.tm.tFAW)
+        return self.refresh_blackout(t)
+
+    def record_act(self, t: float) -> None:
+        """Record an ACT issued at ``t`` for the tFAW/tRRD windows."""
+        self.act_history.append(t)
+        if len(self.act_history) > 4:
+            self.act_history.pop(0)
+        # Use the conservative same-group spacing; bank-group awareness is
+        # second-order for the queuing behaviour we reproduce.
+        self.next_act_any = t + self.tm.tRRD_S

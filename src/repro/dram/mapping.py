@@ -1,0 +1,89 @@
+"""Physical-address to DRAM-coordinate mapping.
+
+The default scheme interleaves consecutive cache lines across channels,
+then sub-channels, then bank groups/banks (a "RoRaBaChCo"-style mapping with
+line-granularity channel interleaving), which maximizes channel- and
+bank-level parallelism for the streaming and random access patterns the
+paper evaluates. An XOR fold of row bits into the bank index reduces
+pathological bank conflicts for power-of-two strides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+LINE_BYTES = 64
+LINE_SHIFT = 6
+
+
+@dataclass(frozen=True)
+class DramCoord:
+    """Decoded DRAM coordinates for one line address."""
+
+    channel: int
+    subchannel: int
+    rank: int
+    bank: int        # flat bank index (group * banks_per_group + bank)
+    row: int
+
+
+class AddressMapping:
+    """Maps line-aligned physical addresses onto a set of DDR channels.
+
+    Parameters
+    ----------
+    channels:
+        Number of DDR channels visible at this mapping level.
+    subchannels:
+        Sub-channels per channel (DDR5: 2).
+    ranks, banks:
+        Organization per sub-channel; ``banks`` is the flat per-rank count.
+    rows:
+        Rows per bank (wraps beyond).
+    xor_fold:
+        If true, XOR the low row bits into the bank index.
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        subchannels: int = 2,
+        ranks: int = 1,
+        banks: int = 32,
+        rows: int = 65536,
+        xor_fold: bool = True,
+    ) -> None:
+        if channels < 1 or subchannels < 1 or ranks < 1 or banks < 1:
+            raise ValueError("all organization counts must be >= 1")
+        self.channels = channels
+        self.subchannels = subchannels
+        self.ranks = ranks
+        self.banks = banks
+        self.rows = rows
+        self.xor_fold = xor_fold
+        # Lines per row: a DDR5 row is 8 KB across the sub-channel -> 128 lines.
+        self.lines_per_row = 128
+
+    def decode(self, addr: int) -> DramCoord:
+        """Decode byte address ``addr`` into DRAM coordinates."""
+        line = addr >> LINE_SHIFT
+        channel = line % self.channels
+        line //= self.channels
+        sub = line % self.subchannels
+        line //= self.subchannels
+        col = line % self.lines_per_row
+        line //= self.lines_per_row
+        bank = line % self.banks
+        line //= self.banks
+        rank = line % self.ranks
+        line //= self.ranks
+        row = line % self.rows
+        if self.xor_fold:
+            bank = (bank ^ (row & (self.banks - 1))) % self.banks
+        del col
+        return DramCoord(channel=channel, subchannel=sub, rank=rank, bank=bank, row=row)
+
+    def channel_of(self, addr: int) -> int:
+        """Fast path: which channel serves this address."""
+        return (addr >> LINE_SHIFT) % self.channels

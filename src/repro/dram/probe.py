@@ -1,0 +1,101 @@
+"""Open-loop load-latency characterization of a DDR channel (Figure 2a).
+
+The probe drives a single DDR5 channel with a Poisson stream of random
+line-granularity accesses at a configurable arrival rate and measures the
+distribution of read latencies. Sweeping the arrival rate reproduces the
+paper's load-latency curve: average latency rising ~3-4x at 50-60% channel
+utilization and p90 rising considerably faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.engine import Simulator
+from repro.dram.controller import DDRChannel
+from repro.dram.timing import DDR5Timing, DDR5_4800
+from repro.request import MemRequest, READ, WRITE
+
+
+@dataclass
+class LoadPoint:
+    """Measured latency statistics at one bandwidth-utilization point."""
+
+    target_utilization: float
+    achieved_utilization: float
+    mean_latency: float
+    p50_latency: float
+    p90_latency: float
+    p99_latency: float
+    n_requests: int
+
+
+class LoadLatencyProbe:
+    """Drives a DDR channel open-loop and records read latencies."""
+
+    def __init__(
+        self,
+        timing: DDR5Timing = DDR5_4800,
+        write_fraction: float = 0.0,
+        footprint_lines: int = 1 << 20,
+        seed: int = 7,
+    ) -> None:
+        if not 0.0 <= write_fraction < 1.0:
+            raise ValueError("write_fraction must be in [0, 1)")
+        self.timing = timing
+        self.write_fraction = write_fraction
+        self.footprint_lines = footprint_lines
+        self.seed = seed
+
+    def measure(self, utilization: float, n_requests: int = 4000, warmup: int = 500) -> LoadPoint:
+        """Measure latency at ``utilization`` (fraction of peak bandwidth)."""
+        if not 0.0 < utilization < 1.0:
+            raise ValueError("utilization must be in (0, 1)")
+        sim = Simulator()
+        chan = DDRChannel(sim, "probe", self.timing)
+        peak = chan.peak_bandwidth_gbps            # GB/s == bytes/ns
+        rate = utilization * peak / 64.0           # requests per ns
+        rng = np.random.default_rng(self.seed)
+        total = n_requests + warmup
+        gaps = rng.exponential(1.0 / rate, size=total)
+        arrivals = np.cumsum(gaps)
+        addrs = rng.integers(0, self.footprint_lines, size=total) << 6
+
+        latencies: List[float] = []
+
+        def on_done(req: MemRequest) -> None:
+            if req.user >= warmup:
+                latencies.append(sim.now - req.t_mc_enqueue)
+
+        for i in range(total):
+            kind = WRITE if rng.random() < self.write_fraction else READ
+            req = MemRequest(int(addrs[i]), kind, callback=on_done)
+            req.user = i
+            sim.schedule_at(float(arrivals[i]), chan.enqueue, req)
+        sim.run()
+
+        lat = np.asarray(latencies)
+        elapsed = sim.now - float(arrivals[warmup]) if len(lat) else 1.0
+        achieved = chan.stats.get("bytes", 0.0) / sim.now / peak
+        return LoadPoint(
+            target_utilization=utilization,
+            achieved_utilization=achieved,
+            mean_latency=float(lat.mean()) if len(lat) else 0.0,
+            p50_latency=float(np.percentile(lat, 50)) if len(lat) else 0.0,
+            p90_latency=float(np.percentile(lat, 90)) if len(lat) else 0.0,
+            p99_latency=float(np.percentile(lat, 99)) if len(lat) else 0.0,
+            n_requests=len(lat),
+        )
+
+
+def load_latency_curve(
+    utilizations: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7),
+    n_requests: int = 4000,
+    **probe_kwargs,
+) -> List[LoadPoint]:
+    """Sweep utilization points and return measured :class:`LoadPoint` rows."""
+    probe = LoadLatencyProbe(**probe_kwargs)
+    return [probe.measure(u, n_requests=n_requests) for u in utilizations]

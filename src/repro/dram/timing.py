@@ -1,0 +1,86 @@
+"""DDR5 timing parameters.
+
+All values are nanoseconds unless suffixed ``_ck`` (DRAM clock cycles).
+The defaults model a DDR5-4800 device (JESD79-5B speed bin, 16 Gb die),
+the memory used throughout the paper (Table III). One DDR5 channel is two
+independent 32-bit sub-channels; each sub-channel transfers a 64 B line in
+a BL16 burst.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DDR5Timing:
+    """Timing and organization parameters for one DDR5 sub-channel."""
+
+    name: str = "DDR5-4800"
+    data_rate_mts: float = 4800.0      # mega-transfers/s
+    bus_bits: int = 32                 # sub-channel data width
+    burst_length: int = 16             # BL16 -> 64B per access on 32-bit bus
+
+    # Organization (per sub-channel)
+    ranks: int = 1
+    bank_groups: int = 8
+    banks_per_group: int = 4
+    rows: int = 65536
+    columns: int = 1024                # column addresses per row (of bus width)
+
+    # Core timing (ns)
+    tCL: float = 16.67                 # CAS latency (40 ck)
+    tRCD: float = 16.67                # ACT -> RD/WR
+    tRP: float = 16.67                 # PRE -> ACT
+    tRAS: float = 32.0                 # ACT -> PRE
+    tWR: float = 30.0                  # write recovery
+    tRTP: float = 7.5                  # read -> precharge
+    tCWL: float = 15.0                 # CAS write latency (36 ck)
+    tRRD_S: float = 2.5                # ACT->ACT different bank group
+    tRRD_L: float = 5.0                # ACT->ACT same bank group
+    tCCD_S: float = 3.332              # RD->RD different bank group (8 ck)
+    tCCD_L: float = 5.0                # RD->RD same bank group (12 ck)
+    tFAW: float = 13.333               # four-activate window
+    tWTR_S: float = 2.5                # write->read turnaround, diff group
+    tWTR_L: float = 10.0               # write->read turnaround, same group
+    tRTW: float = 4.0                  # read->write bus turnaround (approx)
+    tRFC: float = 295.0                # refresh cycle time (16 Gb)
+    tREFI: float = 3900.0              # refresh interval
+
+    @property
+    def tCK(self) -> float:
+        """DRAM clock period in ns (clock runs at half the transfer rate)."""
+        return 2000.0 / self.data_rate_mts
+
+    @property
+    def tBURST(self) -> float:
+        """Data-bus occupancy of one BL16 burst in ns."""
+        return self.burst_length / 2 * self.tCK
+
+    @property
+    def bytes_per_access(self) -> int:
+        """Bytes moved by one burst (must be one cache line)."""
+        return self.bus_bits // 8 * self.burst_length
+
+    @property
+    def peak_bandwidth_gbps(self) -> float:
+        """Peak sub-channel bandwidth in GB/s."""
+        return self.data_rate_mts * 1e6 * (self.bus_bits // 8) / 1e9
+
+    @property
+    def banks(self) -> int:
+        """Total banks per rank."""
+        return self.bank_groups * self.banks_per_group
+
+    def read_latency(self) -> float:
+        """Unloaded row-hit read latency (CAS + burst)."""
+        return self.tCL + self.tBURST
+
+    def row_miss_penalty(self) -> float:
+        """Extra latency of a row-buffer conflict (PRE + ACT)."""
+        return self.tRP + self.tRCD
+
+
+#: The paper's memory device: DDR5-4800, 2 sub-channels per channel,
+#: 1 rank per sub-channel, 32 banks per rank (Table III).
+DDR5_4800 = DDR5Timing()

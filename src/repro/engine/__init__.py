@@ -1,0 +1,13 @@
+"""Discrete-event simulation engine underpinning every simulated subsystem.
+
+The engine is deliberately small: an event queue keyed by (time, sequence)
+and a :class:`~repro.engine.kernel.Simulator` that drains it. All simulated
+time is expressed in **nanoseconds** as floats; insertion sequence numbers
+guarantee deterministic FIFO ordering among same-timestamp events.
+"""
+
+from repro.engine.event import Event, EventQueue
+from repro.engine.kernel import Simulator
+from repro.engine.component import Component
+
+__all__ = ["Event", "EventQueue", "Simulator", "Component"]

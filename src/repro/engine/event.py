@@ -1,0 +1,89 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+Events are callbacks scheduled at absolute simulation times. A monotonically
+increasing sequence number breaks ties so that two events scheduled for the
+same instant fire in insertion order, which keeps simulations deterministic
+and independent of heap internals.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class Event:
+    """A scheduled callback.
+
+    Parameters
+    ----------
+    time:
+        Absolute simulation time (ns) at which the callback fires.
+    seq:
+        Tie-breaking sequence number assigned by the queue.
+    fn:
+        Zero-or-more-argument callable invoked when the event fires.
+    args:
+        Positional arguments passed to ``fn``.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.3f} seq={self.seq}{state} fn={getattr(self.fn, '__name__', self.fn)}>"
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` objects ordered by (time, seq)."""
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = 0
+
+    def push(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute time ``time`` and return the event."""
+        ev = Event(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or ``None``."""
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)
+            if not ev.cancelled:
+                return ev
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the timestamp of the earliest pending event, or ``None``."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

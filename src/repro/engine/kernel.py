@@ -1,0 +1,73 @@
+"""The simulation kernel: owns the clock and drains the event queue."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.engine.event import Event, EventQueue
+
+
+class Simulator:
+    """Discrete-event simulator.
+
+    All components share one :class:`Simulator`. Time is float nanoseconds.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, fired.append, "a")
+    >>> _ = sim.schedule(1.0, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self.queue = EventQueue()
+        self.events_fired: int = 0
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` ns from now (delay >= 0)."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        return self.queue.push(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute time ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        return self.queue.push(time, fn, *args)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Drain the event queue.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event lies strictly after this time. The clock
+            is left at ``until`` (or the last event time if earlier).
+        max_events:
+            Safety valve: stop after this many events.
+        """
+        fired = 0
+        while True:
+            t = self.queue.peek_time()
+            if t is None:
+                break
+            if until is not None and t > until:
+                self.now = until
+                break
+            ev = self.queue.pop()
+            assert ev is not None
+            self.now = ev.time
+            ev.fn(*ev.args)
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                break
+        self.events_fired += fired
+
+    def pending(self) -> int:
+        """Number of non-cancelled events still queued."""
+        return len(self.queue)

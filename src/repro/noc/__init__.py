@@ -1,0 +1,5 @@
+"""On-chip network substrate: the 2D mesh latency model of Table III."""
+
+from repro.noc.mesh import Mesh2D
+
+__all__ = ["Mesh2D"]

@@ -1,0 +1,11 @@
+"""Power, energy and efficiency models (Table V)."""
+
+from repro.power.model import (
+    PowerParams, SystemPower, system_power, DEFAULT_POWER,
+)
+from repro.power.energy import edp, ed2p, perf_per_watt, EnergyReport, energy_report
+
+__all__ = [
+    "PowerParams", "SystemPower", "system_power", "DEFAULT_POWER",
+    "edp", "ed2p", "perf_per_watt", "EnergyReport", "energy_report",
+]

@@ -1,0 +1,54 @@
+"""Energy-efficiency metrics: EDP, ED^2P, perf/W (Table V)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.model import SystemPower
+
+
+def edp(power_w: float, cpi: float) -> float:
+    """Energy-Delay Product: power x CPI^2 (lower is better)."""
+    if power_w < 0 or cpi < 0:
+        raise ValueError("power and CPI must be non-negative")
+    return power_w * cpi * cpi
+
+
+def ed2p(power_w: float, cpi: float) -> float:
+    """Energy-Delay^2 Product: power x CPI^3 (lower is better)."""
+    if power_w < 0 or cpi < 0:
+        raise ValueError("power and CPI must be non-negative")
+    return power_w * cpi ** 3
+
+
+def perf_per_watt(ipc: float, power_w: float) -> float:
+    """Throughput per Watt (IPC / W)."""
+    if power_w <= 0:
+        raise ValueError("power must be positive")
+    return ipc / power_w
+
+
+@dataclass
+class EnergyReport:
+    """Table V bottom rows for one system."""
+
+    name: str
+    power_w: float
+    cpi: float
+
+    @property
+    def edp(self) -> float:
+        return edp(self.power_w, self.cpi)
+
+    @property
+    def ed2p(self) -> float:
+        return ed2p(self.power_w, self.cpi)
+
+    @property
+    def perf_per_watt(self) -> float:
+        return perf_per_watt(1.0 / self.cpi, self.power_w)
+
+
+def energy_report(power: SystemPower, cpi: float) -> EnergyReport:
+    """Combine a power breakdown with measured CPI."""
+    return EnergyReport(name=power.name, power_w=power.total_w, cpi=cpi)

@@ -1,0 +1,99 @@
+"""The memory request object threaded through the whole hierarchy.
+
+A :class:`MemRequest` is created when an L2 miss leaves the core tile and is
+annotated with timestamps as it crosses each subsystem, so that the analysis
+layer can reproduce the paper's latency breakdown (on-chip time, DRAM service
+time, memory-controller queuing delay, CXL interface delay — Figures 2b/5).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+_req_ids = itertools.count()
+
+READ = 0
+WRITE = 1
+WRITEBACK = 2  # dirty eviction travelling down the hierarchy; no response needed
+
+
+class MemRequest:
+    """A cache-line-granularity memory transaction.
+
+    Attributes
+    ----------
+    addr:
+        Physical byte address (line-aligned by the issuing cache).
+    kind:
+        ``READ``, ``WRITE`` (demand store / RFO handled as READ by caches;
+        WRITE only appears memory-side) or ``WRITEBACK``.
+    core_id:
+        Issuing core (``-1`` for system-generated traffic such as writebacks).
+    pc:
+        Program counter of the triggering instruction (drives MAP-I).
+    callback:
+        Invoked as ``callback(req)`` when the response returns to the L2.
+    """
+
+    __slots__ = (
+        "req_id", "addr", "kind", "core_id", "pc", "callback", "calm",
+        "t_create", "t_llc_done", "t_mc_enqueue", "t_mc_issue", "t_dram_done",
+        "t_complete", "cxl_delay", "llc_hit", "user",
+    )
+
+    def __init__(
+        self,
+        addr: int,
+        kind: int,
+        core_id: int = -1,
+        pc: int = 0,
+        callback: Optional[Callable[["MemRequest"], None]] = None,
+    ) -> None:
+        self.req_id = next(_req_ids)
+        self.addr = addr
+        self.kind = kind
+        self.core_id = core_id
+        self.pc = pc
+        self.callback = callback
+        self.calm = False          # request issued concurrently with LLC lookup
+        self.llc_hit: Optional[bool] = None
+        # Timestamps (ns); -1.0 means "never reached that stage".
+        self.t_create = -1.0       # left the L2 (start of the measured miss)
+        self.t_llc_done = -1.0     # LLC lookup finished
+        self.t_mc_enqueue = -1.0   # entered the DRAM controller queue
+        self.t_mc_issue = -1.0     # first DRAM command issued for it
+        self.t_dram_done = -1.0    # data left/entered the DRAM device
+        self.t_complete = -1.0     # response arrived back at the L2
+        self.cxl_delay = 0.0       # total time attributable to the CXL interface
+        self.user: Any = None      # issuer-private payload
+
+    # -- derived latency components (valid once t_complete is set) ---------
+    @property
+    def total_latency(self) -> float:
+        """End-to-end L2-miss latency in ns."""
+        return self.t_complete - self.t_create
+
+    @property
+    def queuing_delay(self) -> float:
+        """Time spent waiting in the DRAM controller queue."""
+        if self.t_mc_issue < 0 or self.t_mc_enqueue < 0:
+            return 0.0
+        return self.t_mc_issue - self.t_mc_enqueue
+
+    @property
+    def dram_service(self) -> float:
+        """DRAM array access time (issue to data)."""
+        if self.t_dram_done < 0 or self.t_mc_issue < 0:
+            return 0.0
+        return self.t_dram_done - self.t_mc_issue
+
+    @property
+    def onchip_time(self) -> float:
+        """NoC + LLC time (everything not queuing, DRAM or CXL)."""
+        rest = self.queuing_delay + self.dram_service + self.cxl_delay
+        return max(0.0, self.total_latency - rest)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = {READ: "RD", WRITE: "WR", WRITEBACK: "WB"}
+        return f"<MemRequest #{self.req_id} {kinds.get(self.kind, '?')} 0x{self.addr:x} core={self.core_id}>"

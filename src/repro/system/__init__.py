@@ -1,0 +1,19 @@
+"""System assembly: server configurations and the simulation driver."""
+
+from repro.system.config import (
+    SystemConfig,
+    baseline_config,
+    coaxial_config,
+    coaxial_2x_config,
+    coaxial_5x_config,
+    coaxial_asym_config,
+    ALL_CONFIGS,
+)
+from repro.system.builder import Chip, build_system
+from repro.system.sim import simulate, SimResult
+
+__all__ = [
+    "SystemConfig", "baseline_config", "coaxial_config", "coaxial_2x_config",
+    "coaxial_5x_config", "coaxial_asym_config", "ALL_CONFIGS",
+    "Chip", "build_system", "simulate", "SimResult",
+]

@@ -1,0 +1,280 @@
+"""Chip assembly: cores, LLC slices, NoC, CALM, and memory ports.
+
+:class:`Chip` owns everything outside the cores' private L1/L2: the
+distributed LLC, the 2D-mesh latency model, the CALM policy, and the
+memory ports (direct DDR channels in the baseline, CXL channels in
+COAXIAL). It implements the L2-miss state machine, including the CALM
+join (an L2 miss that probed LLC and memory concurrently completes only
+when the LLC response has arrived, using memory data on an LLC miss).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.engine import Component, Simulator
+from repro.cache.cache import CacheArray, CacheLevel, LINE_BYTES
+from repro.calm.policy import CalmPolicy, IdealPredictor, make_calm_policy
+from repro.cpu.core import Core, CoreParams
+from repro.cxl.channel import CxlChannel
+from repro.dram.controller import DDRChannel
+from repro.noc.mesh import Mesh2D
+from repro.request import MemRequest, READ, WRITE
+from repro.system.config import SystemConfig
+
+LINE_MASK = ~0x3F
+
+
+class Chip(Component):
+    """The simulated server chip plus its memory system."""
+
+    def __init__(self, sim: Simulator, cfg: SystemConfig) -> None:
+        super().__init__(sim, cfg.name)
+        self.cfg = cfg
+        self.mesh = Mesh2D(cfg.mesh_rows, cfg.mesh_cols, cfg.noc_hop_cyc, cfg.freq_ghz)
+        self.llc_hit_ns = cfg.llc_hit_cyc / cfg.freq_ghz
+
+        # Distributed LLC: one slice per tile.
+        n_tiles = self.mesh.n_tiles
+        slice_bytes = cfg.llc_total_kb * 1024 // n_tiles
+        slice_sets = max(1, slice_bytes // (cfg.llc_ways * LINE_BYTES))
+        # round down to a power of two
+        slice_sets = 1 << (slice_sets.bit_length() - 1)
+        self.llc_slices: List[CacheArray] = [
+            CacheArray(slice_sets, cfg.llc_ways, cfg.replacement) for _ in range(n_tiles)
+        ]
+
+        # Memory ports. Lines interleave across the system's total DDR
+        # channels; each channel strips those bits before its bank decode.
+        self.n_ddr_total = cfg.n_ddr_channels
+        self.ports: List = []
+        self.ddr_channels: List[DDRChannel] = []
+        if cfg.memory_kind == "ddr":
+            for i in range(cfg.n_mem_ports):
+                ch = DDRChannel(sim, f"ddr{i}", system_channels=self.n_ddr_total)
+                self.ports.append(ch)
+                self.ddr_channels.append(ch)
+        else:
+            for i in range(cfg.n_mem_ports):
+                cx = CxlChannel(sim, f"cxl{i}", cfg.cxl_params, cfg.ddr_per_cxl,
+                                system_channels=self.n_ddr_total)
+                self.ports.append(cx)
+                self.ddr_channels.extend(cx.device.channels)
+        self.port_tiles = self.mesh.default_port_tiles(len(self.ports))
+
+        # CALM policy, wired to the simulator clock and system bandwidth.
+        self.calm = make_calm_policy(
+            cfg.calm_policy,
+            peak_bandwidth_gbps=self.peak_memory_bandwidth_gbps,
+            now_fn=lambda: self.sim.now,
+        )
+        if isinstance(self.calm, IdealPredictor):
+            self.calm.probe_fn = self._llc_probe
+
+        # Cores with private L1/L2 (and optional prefetchers).
+        from repro.cpu.prefetch import make_prefetcher
+        params = CoreParams(cfg.freq_ghz, cfg.width, cfg.rob, cfg.mshrs,
+                            cfg.l1_hit_cyc, cfg.l2_hit_cyc)
+        self.cores: List[Core] = []
+        for cid in range(cfg.n_cores):
+            l1 = CacheLevel(f"l1d{cid}", cfg.l1_kb * 1024, cfg.l1_ways,
+                            cfg.l1_hit_cyc / cfg.freq_ghz, cfg.replacement)
+            l2 = CacheLevel(f"l2_{cid}", cfg.l2_kb * 1024, cfg.l2_ways,
+                            cfg.l2_hit_cyc / cfg.freq_ghz, cfg.replacement)
+            self.cores.append(Core(
+                sim, cid, params, l1, l2,
+                l2_miss_fn=self.l2_miss,
+                l2_writeback_fn=self.l2_writeback,
+                prefetcher=make_prefetcher(cfg.prefetcher, cfg.prefetch_degree),
+            ))
+
+        # Measurement state.
+        self.measuring = False
+        self.meas_start = 0.0
+        self.lat_records: List[Tuple[float, float, float, float, float]] = []
+
+    # -- topology helpers ---------------------------------------------------------
+    def core_tile(self, core_id: int) -> int:
+        return core_id % self.mesh.n_tiles
+
+    def port_of(self, addr: int) -> int:
+        """Memory port serving this address (global DDR-channel interleave)."""
+        g = (addr >> 6) % self.n_ddr_total
+        return g // self.cfg.ddr_per_cxl if self.cfg.memory_kind == "cxl" else g
+
+    def _llc_probe(self, addr: int) -> bool:
+        return self.llc_slices[self.mesh.llc_slice_of(addr)].probe(addr)
+
+    @property
+    def peak_memory_bandwidth_gbps(self) -> float:
+        """Aggregate DDR bandwidth behind all memory ports."""
+        return sum(ch.peak_bandwidth_gbps for ch in self.ddr_channels)
+
+    # -- L2 miss path ---------------------------------------------------------------
+    def l2_miss(self, core: Core, op_idx: int, addr: int, is_write: bool,
+                pc: int, prefetch: bool = False) -> None:
+        """Entry point from a core, invoked at the miss's issue time.
+
+        ``prefetch`` requests take the serial path (no CALM), are excluded
+        from latency records and CALM telemetry, and fill the caches like
+        any other line on return.
+        """
+        now = self.sim.now
+        line = addr & LINE_MASK
+        req = MemRequest(line, READ, core.core_id, pc)
+        req.t_create = now
+        req.user = {
+            "core": core, "op": op_idx, "prefetch": prefetch,
+            "llc_state": "pending",       # pending | hit | miss
+            "llc_resp_at_core": None, "mem_at_core": None, "completed": False,
+        }
+        calm = (not is_write) and (not prefetch) and self.calm.decide(pc, line)
+        req.calm = calm
+        self.bump("prefetch_reqs" if prefetch else "l2_misses")
+
+        ctile = self.core_tile(core.core_id)
+        stile = self.mesh.llc_slice_of(line)
+        t_lookup = now + self.mesh.latency(ctile, stile) + self.llc_hit_ns
+        self.sim.schedule_at(t_lookup, self._llc_lookup, req, stile)
+
+        if calm:
+            self._send_to_memory(req, ctile)
+
+    def _send_to_memory(self, req: MemRequest, from_tile: int) -> None:
+        """Route a read towards its memory port over the NoC."""
+        pidx = self.port_of(req.addr)
+        port = self.ports[pidx]
+        req.user["port_tile"] = self.port_tiles[pidx]
+        req.callback = self._mem_response
+        t = self.sim.now + self.mesh.latency(from_tile, self.port_tiles[pidx])
+        self.sim.schedule_at(t, port.submit if hasattr(port, "submit") else port.enqueue, req)
+
+    def _llc_lookup(self, req: MemRequest, stile: int) -> None:
+        now = self.sim.now
+        hit = self.llc_slices[stile].lookup(req.addr)
+        req.llc_hit = hit
+        req.t_llc_done = now
+        if not req.user.get("prefetch"):
+            self.calm.observe(req.pc, req.addr, hit, req.calm)
+        ctile = self.core_tile(req.core_id)
+        t_resp_at_core = now + self.mesh.latency(stile, ctile)
+        if hit:
+            req.user["llc_state"] = "hit"
+            self.bump("llc_hits")
+            self.sim.schedule_at(t_resp_at_core, self._complete, req)
+            return
+        req.user["llc_state"] = "miss"
+        self.bump("llc_misses")
+        if not req.calm:
+            self._send_to_memory(req, stile)
+            return
+        # CALM join: LLC missed; wait for (or use already-arrived) memory data.
+        req.user["llc_resp_at_core"] = t_resp_at_core
+        mem_t = req.user["mem_at_core"]
+        if mem_t is not None:
+            self._fill_llc(req.addr, stile)
+            self.sim.schedule_at(max(mem_t, t_resp_at_core), self._complete, req)
+
+    def _mem_response(self, req: MemRequest) -> None:
+        """Memory data arrived at the port (CPU side); cross the NoC home."""
+        ptile = req.user.get("port_tile", 0)
+        ctile = self.core_tile(req.core_id)
+        t = self.sim.now + self.mesh.latency(ptile, ctile)
+        self.sim.schedule_at(t, self._mem_at_core, req)
+
+    def _mem_at_core(self, req: MemRequest) -> None:
+        now = self.sim.now
+        state = req.user["llc_state"]
+        if req.calm:
+            if state == "hit":
+                # False positive: memory fetch wasted; LLC already served it.
+                self.bump("calm_wasted_bytes", 64)
+                return
+            if state == "pending":
+                req.user["mem_at_core"] = now
+                return
+            # LLC miss already known: complete once the LLC response is in.
+            stile = self.mesh.llc_slice_of(req.addr)
+            self._fill_llc(req.addr, stile)
+            t_done = max(now, req.user["llc_resp_at_core"])
+            self.sim.schedule_at(t_done, self._complete, req)
+            return
+        # Serial path: fill LLC and hand the line to the core.
+        stile = self.mesh.llc_slice_of(req.addr)
+        self._fill_llc(req.addr, stile)
+        self._complete(req)
+
+    def _complete(self, req: MemRequest) -> None:
+        if req.user["completed"]:
+            return
+        req.user["completed"] = True
+        req.t_complete = self.sim.now
+        core: Core = req.user["core"]
+        if (self.measuring and req.t_create >= self.meas_start
+                and not req.user.get("prefetch")):
+            total = req.total_latency
+            if req.llc_hit:
+                # Served on chip: the whole latency is on-chip time, even if
+                # a (wasted) CALM memory fetch is still in flight.
+                self.lat_records.append((total, total, 0.0, 0.0, 0.0))
+            else:
+                queuing = req.queuing_delay
+                dram = req.dram_service
+                cxl = req.cxl_delay
+                onchip = max(0.0, total - queuing - dram - cxl)
+                self.lat_records.append((total, onchip, queuing, dram, cxl))
+        core.complete_miss(req.user["op"], req.addr)
+
+    # -- writeback path ------------------------------------------------------------
+    def l2_writeback(self, core: Core, addr: int) -> None:
+        """Dirty L2 eviction: allocate in the LLC (non-inclusive WB cache)."""
+        line = addr & LINE_MASK
+        stile = self.mesh.llc_slice_of(line)
+        t = self.sim.now + self.mesh.latency(self.core_tile(core.core_id), stile)
+        self.sim.schedule_at(t, self._llc_wb, line, stile)
+
+    def _llc_wb(self, line: int, stile: int) -> None:
+        self.bump("l2_writebacks")
+        self._fill_llc(line, stile, dirty=True)
+
+    def _fill_llc(self, line: int, stile: int, dirty: bool = False) -> None:
+        victim = self.llc_slices[stile].fill(line, dirty)
+        if victim is not None and victim[1]:
+            self._mem_write(victim[0], stile)
+
+    def _mem_write(self, line: int, from_tile: int) -> None:
+        """Posted write of a dirty LLC victim to memory."""
+        self.bump("mem_writes")
+        pidx = self.port_of(line)
+        port = self.ports[pidx]
+        req = MemRequest(line, WRITE)
+        t = self.sim.now + self.mesh.latency(from_tile, self.port_tiles[pidx])
+        self.sim.schedule_at(t, port.submit if hasattr(port, "submit") else port.enqueue, req)
+
+    # -- measurement control ----------------------------------------------------------
+    def begin_measurement(self) -> None:
+        """Reset all statistics at the warmup/measurement boundary."""
+        self.measuring = True
+        self.meas_start = self.sim.now
+        self.lat_records.clear()
+        self.reset_stats()
+        self.calm.reset_stats()
+        for ch in self.ddr_channels:
+            ch.reset_stats()
+        for port in self.ports:
+            if isinstance(port, CxlChannel):
+                port.reset_stats()
+                port.tx.bytes_moved = 0.0
+                port.rx.bytes_moved = 0.0
+        for s in self.llc_slices:
+            s.reset_counters()
+        for core in self.cores:
+            core.reset_stats()
+            core.l1.array.reset_counters()
+            core.l2.array.reset_counters()
+
+
+def build_system(cfg: SystemConfig, sim: Optional[Simulator] = None) -> Tuple[Simulator, Chip]:
+    """Create a simulator and a chip for ``cfg``."""
+    sim = sim or Simulator()
+    return sim, Chip(sim, cfg)

@@ -1,0 +1,154 @@
+"""Server system configurations (paper Tables II/III).
+
+The paper simulates a 12-core slice of a 144-core server: 12 OoO cores
+sharing one DDR5-4800 channel in the baseline, versus 2/4/8 CXL-attached
+channels in the COAXIAL variants. We reproduce that 12-core simulated
+system directly; cache capacities are scaled down (1/8) so that Python-
+scale trace lengths exercise realistic hit rates — workloads are calibrated
+against the scaled hierarchy, preserving each workload's MPKI band.
+
+Configurations (memory bandwidth relative to baseline):
+
+================  ==============  ===========  ==================
+name              memory           LLC/core     relative read BW
+================  ==============  ===========  ==================
+ddr-baseline      1 DDR5 channel   256 KB       1.0x
+coaxial-2x        2 x8 CXL         256 KB       2.0x  (iso-LLC)
+coaxial-4x        4 x8 CXL         128 KB       4.0x  (balanced)
+coaxial-5x        5 x8 CXL         256 KB       5.0x  (iso-pin)
+coaxial-asym      4 CXL-asym (x2)  128 KB       8 DDR channels
+================  ==============  ===========  ==================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cxl.link import CxlLinkParams, X8_CXL, X8_CXL_ASYM
+
+
+@dataclass
+class SystemConfig:
+    """Everything needed to build one simulated server."""
+
+    name: str = "ddr-baseline"
+
+    # Cores (Table III)
+    n_cores: int = 12
+    active_cores: Optional[int] = None     # None = all (Fig 11 uses fewer)
+    freq_ghz: float = 2.4
+    width: int = 4
+    rob: int = 256
+    mshrs: int = 16
+
+    # Cache hierarchy (scaled 1/8 from Table III; latencies in core cycles)
+    l1_kb: int = 16
+    l1_ways: int = 8
+    l1_hit_cyc: int = 4
+    l2_kb: int = 64
+    l2_ways: int = 8
+    l2_hit_cyc: int = 8
+    llc_kb_per_core: int = 256
+    llc_ways: int = 16
+    llc_hit_cyc: int = 20
+    replacement: str = "lru"
+
+    # NoC (Table III)
+    mesh_rows: int = 3
+    mesh_cols: int = 4
+    noc_hop_cyc: int = 3
+
+    # Memory system
+    memory_kind: str = "ddr"               # "ddr" | "cxl"
+    n_mem_ports: int = 1                   # DDR channels or CXL channels
+    ddr_per_cxl: int = 1                   # DDR channels behind each CXL device
+    cxl_params: CxlLinkParams = field(default_factory=lambda: X8_CXL)
+
+    # CALM (Section IV-C); baseline default is serial access
+    calm_policy: str = "never"
+
+    # Optional L2 prefetcher ("none" | "nextline" | "stride"); off by
+    # default so Table IV calibration is unaffected.
+    prefetcher: str = "none"
+    prefetch_degree: int = 2
+
+    def __post_init__(self) -> None:
+        if self.active_cores is None:
+            self.active_cores = self.n_cores
+        if not 1 <= self.active_cores <= self.n_cores:
+            raise ValueError("active_cores out of range")
+        if self.memory_kind not in ("ddr", "cxl"):
+            raise ValueError(f"memory_kind must be ddr or cxl, got {self.memory_kind!r}")
+        if self.mesh_rows * self.mesh_cols < self.n_cores:
+            raise ValueError("mesh too small for core count")
+
+    # -- derived ---------------------------------------------------------------
+    @property
+    def n_ddr_channels(self) -> int:
+        """Total DDR channels in the memory system."""
+        if self.memory_kind == "ddr":
+            return self.n_mem_ports
+        return self.n_mem_ports * self.ddr_per_cxl
+
+    @property
+    def llc_total_kb(self) -> int:
+        return self.llc_kb_per_core * self.n_cores
+
+    def replace(self, **kwargs) -> "SystemConfig":
+        """A modified copy (dataclasses.replace with validation)."""
+        return dataclasses.replace(self, **kwargs)
+
+
+def baseline_config(**overrides) -> SystemConfig:
+    """The DDR-based baseline: 12 cores on one DDR5-4800 channel."""
+    cfg = SystemConfig(name="ddr-baseline", memory_kind="ddr", n_mem_ports=1)
+    return cfg.replace(**overrides) if overrides else cfg
+
+
+def coaxial_2x_config(**overrides) -> SystemConfig:
+    """COAXIAL-2x: 2 CXL channels, LLC unchanged (iso-LLC)."""
+    cfg = SystemConfig(
+        name="coaxial-2x", memory_kind="cxl", n_mem_ports=2,
+        calm_policy="calm_70",
+    )
+    return cfg.replace(**overrides) if overrides else cfg
+
+
+def coaxial_config(**overrides) -> SystemConfig:
+    """COAXIAL-4x (the default "COAXIAL"): 4 CXL channels, LLC halved."""
+    cfg = SystemConfig(
+        name="coaxial-4x", memory_kind="cxl", n_mem_ports=4,
+        llc_kb_per_core=128, calm_policy="calm_70",
+    )
+    return cfg.replace(**overrides) if overrides else cfg
+
+
+def coaxial_5x_config(**overrides) -> SystemConfig:
+    """COAXIAL-5x: iso-pin design (5 CXL channels, LLC unchanged, +17% area)."""
+    cfg = SystemConfig(
+        name="coaxial-5x", memory_kind="cxl", n_mem_ports=5,
+        calm_policy="calm_70",
+    )
+    return cfg.replace(**overrides) if overrides else cfg
+
+
+def coaxial_asym_config(**overrides) -> SystemConfig:
+    """COAXIAL-asym: 4 asymmetric CXL channels, 2 DDR channels each."""
+    cfg = SystemConfig(
+        name="coaxial-asym", memory_kind="cxl", n_mem_ports=4,
+        ddr_per_cxl=2, cxl_params=X8_CXL_ASYM,
+        llc_kb_per_core=128, calm_policy="calm_70",
+    )
+    return cfg.replace(**overrides) if overrides else cfg
+
+
+#: All named configurations, for sweep-style benches.
+ALL_CONFIGS = {
+    "ddr-baseline": baseline_config,
+    "coaxial-2x": coaxial_2x_config,
+    "coaxial-4x": coaxial_config,
+    "coaxial-5x": coaxial_5x_config,
+    "coaxial-asym": coaxial_asym_config,
+}

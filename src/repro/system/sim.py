@@ -1,0 +1,217 @@
+"""Simulation driver: warmup + measurement phases, result aggregation.
+
+Mirrors the paper's methodology at Python scale: every active core runs
+the same workload trace (or its own, for mixed workloads), caches and
+predictors warm up on a prefix of the trace, statistics reset, and the
+measurement window covers the remaining ops. IPC is committed instructions
+over each core's own measured span, averaged across active cores.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.engine import Simulator
+from repro.cpu.trace import Trace
+from repro.system.builder import Chip, build_system
+from repro.system.config import SystemConfig
+from repro.system.stats import SimResult, breakdown_from_records
+
+
+def _scale() -> float:
+    """Global run-length multiplier (REPRO_SCALE env var, default 1)."""
+    return float(os.environ.get("REPRO_SCALE", "1"))
+
+
+def _replay_functional(chip: Chip, core, trace: Trace) -> None:
+    """Replay a trace through the cache arrays with no timing or memory.
+
+    This is ChampSim-style functional warmup: it establishes steady-state
+    cache contents — including dirty bits, so the measured phase produces
+    realistic DRAM write(back) traffic — at a fraction of the cost of timed
+    simulation. Deeper-level victims are simply dropped (the memory system
+    is not involved).
+    """
+    l1 = core.l1.array
+    l2 = core.l2.array
+    slices = chip.llc_slices
+    slice_of = chip.mesh.llc_slice_of
+    arr = trace.arr
+    for a, w in zip(arr["addr"].tolist(), arr["is_write"].tolist()):
+        w = bool(w)
+        if l1.lookup(a, w):
+            continue
+        if l2.lookup(a, w):
+            v = l1.fill(a, w)
+            if v is not None and v[1]:
+                l2.set_dirty(v[0])
+            continue
+        line = a & ~0x3F
+        s = slices[slice_of(line)]
+        if not s.lookup(line):
+            s.fill(line, False)
+        v2 = l2.fill(line, w)
+        if v2 is not None and v2[1]:
+            slices[slice_of(v2[0])].fill(v2[0], True)
+        v1 = l1.fill(line, w)
+        if v1 is not None and v1[1]:
+            l2.set_dirty(v1[0])
+
+
+def _warmup_traces(chip: Chip, workload, traces, n_active: int, seed: int):
+    """Build per-core functional-warmup traces.
+
+    For catalog workloads we draw a *fresh sample* of the same access
+    distribution (offset seed), which fills the hierarchy with
+    statistically-equivalent-but-disjoint lines. For explicit trace lists
+    (mixes) we replay the trace with a high address bit flipped — same
+    structure, disjoint lines — so no-reuse streams don't warm their own
+    future lines into the cache.
+    """
+    llc_lines = sum(s.sets * s.ways for s in chip.llc_slices)
+    n_warm = max(1000, 3 * llc_lines // n_active)
+    out = []
+    for c in range(n_active):
+        if workload is not None:
+            out.append(workload.generate(n_warm, seed=seed + 1000 * c + 503))
+        else:
+            ghost = traces[c].arr.copy()
+            reps = max(1, n_warm // max(1, len(ghost)))
+            ghost = np.concatenate([ghost] * reps) if reps > 1 else ghost
+            ghost["addr"] = ghost["addr"] ^ np.uint64(1 << 41)
+            out.append(Trace(ghost, "ghost-warm"))
+    return out
+
+
+def simulate(
+    cfg: SystemConfig,
+    workload: Union["object", Sequence[Trace]],
+    ops_per_core: Optional[int] = None,
+    warmup_frac: float = 0.25,
+    seed: int = 1,
+    max_ns: float = 5e8,
+) -> SimResult:
+    """Run one configuration against one workload.
+
+    Parameters
+    ----------
+    cfg:
+        System configuration (see :mod:`repro.system.config`).
+    workload:
+        Either a workload spec with ``generate(n_ops, seed) -> Trace`` and a
+        ``name`` (see :mod:`repro.workloads`), or an explicit per-core list
+        of traces (mixed workloads).
+    ops_per_core:
+        Memory operations per core (defaults to the workload's default,
+        scaled by ``REPRO_SCALE``).
+    warmup_frac:
+        Leading fraction of each trace used to warm caches/predictors.
+    """
+    sim, chip = build_system(cfg)
+    n_active = cfg.active_cores
+
+    if isinstance(workload, (list, tuple)):
+        traces = list(workload)
+        if len(traces) != n_active:
+            raise ValueError(f"need {n_active} traces, got {len(traces)}")
+        wl_name = "mix"
+        spec = None
+    else:
+        n_ops = ops_per_core or int(getattr(workload, "default_ops", 6000) * _scale())
+        traces = [workload.generate(n_ops, seed=seed + 1000 * c) for c in range(n_active)]
+        wl_name = workload.name
+        spec = workload
+
+    warm = [t.split(int(len(t) * warmup_frac))[0] for t in traces]
+    meas = [t.split(int(len(t) * warmup_frac))[1] for t in traces]
+
+    # Phase 0: functional warmup — establish steady-state cache contents
+    # (and dirty bits) without timing, as ChampSim's warmup phase does.
+    # 0a: a disjoint sample of the access distribution fills the LLC with
+    #     steady-state pollution; 0b: replaying the timed-warmup prefix a
+    #     few times installs the workload's actual hot set (the prefix's
+    #     cold/stream lines are never revisited by the measured portion,
+    #     so no future lines are leaked into the caches).
+    for c, wtrace in enumerate(_warmup_traces(chip, spec, traces, n_active, seed)):
+        _replay_functional(chip, chip.cores[c], wtrace)
+    for c in range(n_active):
+        for _ in range(3):
+            _replay_functional(chip, chip.cores[c], warm[c])
+
+    # Phase A: warmup.
+    remaining = [n_active]
+
+    def _warm_done(core) -> None:
+        remaining[0] -= 1
+
+    for c in range(n_active):
+        core = chip.cores[c]
+        core.on_done = _warm_done
+        core.start(warm[c])
+    sim.run(until=max_ns)
+    if remaining[0] != 0:
+        raise RuntimeError(f"warmup did not drain within {max_ns} ns")
+
+    # Phase B: measurement.
+    chip.begin_measurement()
+    t0 = sim.now
+    remaining[0] = n_active
+    for c in range(n_active):
+        core = chip.cores[c]
+        core.on_done = _warm_done
+        core.start(meas[c])
+    sim.run(until=max_ns * 2)
+    if remaining[0] != 0:
+        raise RuntimeError(f"measurement did not drain within {max_ns} ns")
+    elapsed = sim.now - t0
+
+    # Aggregate.
+    active = chip.cores[:n_active]
+    core_ipcs = [c.ipc for c in active]
+    instructions = sum(c.total_instrs for c in active)
+    bd = breakdown_from_records(chip.lat_records)
+
+    bytes_total = sum(ch.stats.get("bytes", 0.0) for ch in chip.ddr_channels)
+    bytes_rd = sum(ch.stats.get("bytes_rd", 0.0) for ch in chip.ddr_channels)
+    bytes_wr = sum(ch.stats.get("bytes_wr", 0.0) for ch in chip.ddr_channels)
+    bw = bytes_total / elapsed if elapsed > 0 else 0.0
+
+    llc_lookups = sum(s.n_lookups for s in chip.llc_slices)
+    llc_hits = sum(s.n_hits for s in chip.llc_slices)
+    llc_misses = chip.stats.get("llc_misses", 0.0)
+    l2_misses = chip.stats.get("l2_misses", 0.0)
+    cs = chip.calm.stats
+    calm_total = cs.total
+
+    return SimResult(
+        config_name=cfg.name,
+        workload_name=wl_name,
+        ipc=sum(core_ipcs) / len(core_ipcs),
+        core_ipcs=core_ipcs,
+        instructions=instructions,
+        elapsed_ns=elapsed,
+        n_misses=bd["n"],
+        avg_miss_latency=bd["total"],
+        avg_onchip=bd["onchip"],
+        avg_queuing=bd["queuing"],
+        avg_dram=bd["dram"],
+        avg_cxl=bd["cxl"],
+        p90_miss_latency=bd["p90"],
+        bandwidth_gbps=bw,
+        read_bandwidth_gbps=bytes_rd / elapsed if elapsed > 0 else 0.0,
+        write_bandwidth_gbps=bytes_wr / elapsed if elapsed > 0 else 0.0,
+        peak_bandwidth_gbps=chip.peak_memory_bandwidth_gbps,
+        llc_mpki=1000.0 * llc_misses / instructions if instructions else 0.0,
+        llc_hit_rate=llc_hits / llc_lookups if llc_lookups else 0.0,
+        calm_false_pos_rate=cs.false_positive_rate,
+        calm_false_neg_rate=cs.false_negative_rate,
+        calm_fraction=(cs.calm_llc_hit + cs.calm_llc_miss) / calm_total if calm_total else 0.0,
+        extras={
+            "l2_misses": l2_misses,
+            "mem_writes": chip.stats.get("mem_writes", 0.0),
+            "calm_wasted_bytes": chip.stats.get("calm_wasted_bytes", 0.0),
+        },
+    )

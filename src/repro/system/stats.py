@@ -1,0 +1,96 @@
+"""Result container produced by one simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class SimResult:
+    """Measured statistics of one (config, workload) simulation.
+
+    Latency components follow the paper's breakdown of average L2-miss
+    latency (Figures 2b/5): on-chip (NoC + LLC), DRAM service, memory-
+    controller queuing, and CXL interface delay.
+    """
+
+    config_name: str
+    workload_name: str
+
+    # Performance
+    ipc: float                          # mean per-core committed IPC
+    core_ipcs: List[float]
+    instructions: int
+    elapsed_ns: float
+
+    # L2-miss latency breakdown (averages over measured misses, ns)
+    n_misses: int
+    avg_miss_latency: float
+    avg_onchip: float
+    avg_queuing: float
+    avg_dram: float
+    avg_cxl: float
+    p90_miss_latency: float
+
+    # Memory traffic
+    bandwidth_gbps: float               # achieved DRAM bandwidth
+    read_bandwidth_gbps: float
+    write_bandwidth_gbps: float
+    peak_bandwidth_gbps: float
+    llc_mpki: float                     # LLC misses per kilo-instruction
+    llc_hit_rate: float
+
+    # CALM telemetry
+    calm_false_pos_rate: float = 0.0
+    calm_false_neg_rate: float = 0.0
+    calm_fraction: float = 0.0          # fraction of L2 misses that went CALM
+
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        """Achieved / peak DRAM bandwidth."""
+        if self.peak_bandwidth_gbps <= 0:
+            return 0.0
+        return self.bandwidth_gbps / self.peak_bandwidth_gbps
+
+    @property
+    def cpi(self) -> float:
+        return 1.0 / self.ipc if self.ipc > 0 else float("inf")
+
+    def speedup_over(self, other: "SimResult") -> float:
+        """IPC ratio versus a baseline run of the same workload."""
+        if other.ipc <= 0:
+            return float("inf")
+        return self.ipc / other.ipc
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.config_name:>14s} {self.workload_name:<16s} "
+            f"IPC={self.ipc:5.2f} misslat={self.avg_miss_latency:6.1f}ns "
+            f"(onchip={self.avg_onchip:5.1f} queue={self.avg_queuing:6.1f} "
+            f"dram={self.avg_dram:5.1f} cxl={self.avg_cxl:5.1f}) "
+            f"bw={self.bandwidth_gbps:5.1f}GB/s ({100 * self.bandwidth_utilization:4.1f}%) "
+            f"MPKI={self.llc_mpki:5.1f}"
+        )
+
+
+def breakdown_from_records(records: List[tuple]) -> Dict[str, float]:
+    """Aggregate (total, onchip, queuing, dram, cxl) tuples into averages."""
+    if not records:
+        return {"n": 0, "total": 0.0, "onchip": 0.0, "queuing": 0.0,
+                "dram": 0.0, "cxl": 0.0, "p90": 0.0}
+    arr = np.asarray(records)
+    return {
+        "n": len(arr),
+        "total": float(arr[:, 0].mean()),
+        "onchip": float(arr[:, 1].mean()),
+        "queuing": float(arr[:, 2].mean()),
+        "dram": float(arr[:, 3].mean()),
+        "cxl": float(arr[:, 4].mean()),
+        "p90": float(np.percentile(arr[:, 0], 90)),
+    }

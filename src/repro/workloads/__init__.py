@@ -1,0 +1,22 @@
+"""Synthetic workload trace generators (paper Table IV suite).
+
+The paper replays dynamic execution traces of 36 workloads (SPEC CPU2017,
+LIGRA graph analytics, STREAM, PARSEC, masstree, kmeans). Those traces are
+proprietary-sized artifacts; we substitute parameterized synthetic
+generators that reproduce each workload's *memory behaviour statistics* —
+memory intensity, working-set footprint vs. the (scaled) cache hierarchy,
+read/write mix, spatial locality, and dependency structure (memory-level
+parallelism) — which are the properties the paper's results derive from.
+
+Use :func:`get_workload` / :data:`WORKLOADS` for the catalog and
+:func:`repro.workloads.mixes.make_mixes` for Figure 6's mixed workloads.
+"""
+
+from repro.workloads.params import WorkloadSpec
+from repro.workloads.catalog import WORKLOADS, get_workload, workload_names, SUITES
+from repro.workloads.mixes import make_mixes
+
+__all__ = [
+    "WorkloadSpec", "WORKLOADS", "get_workload", "workload_names",
+    "SUITES", "make_mixes",
+]

@@ -1,0 +1,169 @@
+"""The 36-workload catalog (paper Table IV), calibrated for the scaled system.
+
+Scaled hierarchy reference (see ``repro.system.config``): L1 = 256 lines,
+L2 = 1K lines, baseline LLC = 48K lines (3 MB total across 12 slices).
+Parameters are tuned so each workload's baseline LLC MPKI and IPC land in
+the band Table IV reports; ``paper_ipc``/``paper_mpki`` record the targets
+and the ``tab4`` bench reports measured-vs-paper.
+
+Workload families:
+
+- SPEC FP (lbm, bwaves, cactuBSSN, fotonik3d, cam4, wrf, roms, pop2):
+  strided multi-stream sweeps; write-heavy for stencils (lbm, cam4).
+- SPEC INT (mcf, omnetpp, xalancbmk, gcc): pointer-heavy hot/cold mixes
+  with dependency chains.
+- LIGRA graph analytics: edge-scan + skewed vertex gather.
+- STREAM: pure streaming kernels.
+- PARSEC: moderate-footprint hot/cold mixes.
+- masstree (KVS) and kmeans (data analytics).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.generators import (
+    graph_analytics, hot_cold, kmeans_scan, kvs, pointer_chase, stream, strided,
+)
+from repro.workloads.params import WorkloadSpec
+
+KLINE = 1024  # lines
+M = 1 << 20
+
+
+def _spec(name, suite, gen, params, ipc, mpki) -> WorkloadSpec:
+    return WorkloadSpec(name=name, suite=suite, generator=gen, params=params,
+                        paper_ipc=ipc, paper_mpki=mpki)
+
+
+_ENTRIES: List[WorkloadSpec] = [
+    # --- SPEC CPU2017 -------------------------------------------------------
+    _spec("lbm", "SPEC", strided,
+          dict(ws_lines=2 * M, n_streams=3, write_frac=0.38, gap=15.0), 0.14, 64),
+    _spec("bwaves", "SPEC", strided,
+          dict(ws_lines=M, n_streams=4, write_frac=0.15, gap=42.0,
+               reuse_prob=0.55, reuse_lines=700), 0.33, 14),
+    _spec("cactuBSSN", "SPEC", strided,
+          dict(ws_lines=M, n_streams=6, write_frac=0.20, gap=70.0,
+               reuse_prob=0.6, reuse_lines=800), 0.68, 8),
+    _spec("fotonik3d", "SPEC", strided,
+          dict(ws_lines=M, n_streams=4, write_frac=0.25, gap=35.0,
+               reuse_prob=0.35, reuse_lines=600), 0.32, 22),
+    _spec("cam4", "SPEC", hot_cold,
+          dict(hot_lines=900, cold_lines=M, hot_prob=0.82, write_frac=0.42,
+               dep_prob=0.05, gap=59.0, spatial=4), 0.87, 6),
+    _spec("wrf", "SPEC", strided,
+          dict(ws_lines=M, n_streams=4, write_frac=0.22, gap=58.0,
+               reuse_prob=0.5, reuse_lines=700), 0.61, 11),
+    _spec("mcf", "SPEC", pointer_chase,
+          dict(ws_lines=512 * KLINE, chain_len=2, write_frac=0.15, gap=47.0,
+               hot_lines=800, hot_prob=0.55), 0.79, 13),
+    _spec("roms", "SPEC", strided,
+          dict(ws_lines=M, n_streams=3, write_frac=0.2, gap=100.0,
+               reuse_prob=0.55, reuse_lines=800), 0.77, 6),
+    _spec("pop2", "SPEC", hot_cold,
+          dict(hot_lines=700, cold_lines=M, hot_prob=0.92, write_frac=0.2,
+               dep_prob=0.05, gap=64.0, spatial=4), 1.5, 3),
+    _spec("omnetpp", "SPEC", pointer_chase,
+          dict(ws_lines=512 * KLINE, chain_len=4, write_frac=0.12, gap=56.0,
+               hot_lines=800, hot_prob=0.6), 0.50, 10),
+    _spec("xalancbmk", "SPEC", hot_cold,
+          dict(hot_lines=800, cold_lines=256 * KLINE, hot_prob=0.72,
+               write_frac=0.1, dep_prob=0.45, gap=36.0), 0.50, 12),
+    _spec("gcc", "SPEC", pointer_chase,
+          dict(ws_lines=M, chain_len=6, write_frac=0.15, gap=41.0,
+               hot_lines=600, hot_prob=0.35), 0.27, 19),
+    # --- LIGRA graph analytics ------------------------------------------------
+    _spec("PageRankDelta", "LIGRA", graph_analytics,
+          dict(n_vertices=256 * KLINE, skew=1.6, edge_gap=38.0,
+               write_frac=0.18, dep_frac=0.45), 0.30, 27),
+    _spec("Comp-shortcut", "LIGRA", graph_analytics,
+          dict(n_vertices=M, skew=1.2, edge_gap=21.0,
+               write_frac=0.2, dep_frac=0.35), 0.34, 48),
+    _spec("Components", "LIGRA", graph_analytics,
+          dict(n_vertices=M, skew=1.2, edge_gap=21.0,
+               write_frac=0.22, dep_frac=0.35), 0.36, 48),
+    _spec("BC", "LIGRA", graph_analytics,
+          dict(n_vertices=512 * KLINE, skew=1.5, edge_gap=30.0,
+               write_frac=0.18, dep_frac=0.4), 0.33, 34),
+    _spec("PageRank", "LIGRA", graph_analytics,
+          dict(n_vertices=M, skew=1.4, edge_gap=26.0,
+               write_frac=0.15, dep_frac=0.35), 0.36, 40),
+    _spec("Radii", "LIGRA", graph_analytics,
+          dict(n_vertices=512 * KLINE, skew=1.4, edge_gap=31.0,
+               write_frac=0.16, dep_frac=0.4), 0.41, 33),
+    _spec("CF", "LIGRA", graph_analytics,
+          dict(n_vertices=128 * KLINE, skew=2.2, edge_gap=83.0,
+               write_frac=0.2, dep_frac=0.4), 0.80, 12),
+    _spec("BFSCC", "LIGRA", graph_analytics,
+          dict(n_vertices=256 * KLINE, skew=2.0, edge_gap=59.0,
+               write_frac=0.14, dep_frac=0.5), 0.65, 17),
+    _spec("BellmanFord", "LIGRA", graph_analytics,
+          dict(n_vertices=128 * KLINE, skew=2.4, edge_gap=110.0,
+               write_frac=0.18, dep_frac=0.45), 0.82, 9),
+    _spec("BFS", "LIGRA", graph_analytics,
+          dict(n_vertices=256 * KLINE, skew=2.0, edge_gap=67.0,
+               write_frac=0.12, dep_frac=0.55), 0.66, 15),
+    _spec("BFS-Bitvector", "LIGRA", graph_analytics,
+          dict(n_vertices=256 * KLINE, skew=2.4, edge_gap=66.0,
+               write_frac=0.1, dep_frac=0.5), 0.84, 15),
+    _spec("Triangle", "LIGRA", graph_analytics,
+          dict(n_vertices=512 * KLINE, skew=1.8, edge_gap=48.0,
+               write_frac=0.08, dep_frac=0.45), 0.61, 21),
+    # MIS is the paper's 13th LIGRA workload (Table IV omits its row; the
+    # text calls it the CALM false-positive outlier, i.e. its LLC hit rate
+    # swings phase to phase). Targets are estimated from its Fig 5 position.
+    _spec("MIS", "LIGRA", graph_analytics,
+          dict(n_vertices=384 * KLINE, skew=3.0, edge_gap=40.0,
+               write_frac=0.15, dep_frac=0.45), 0.55, 20),
+    # --- STREAM -----------------------------------------------------------------
+    _spec("stream-copy", "STREAM", stream,
+          dict(n_read_streams=1, has_write_stream=True, gap=17.0), 0.17, 58),
+    _spec("stream-scale", "STREAM", stream,
+          dict(n_read_streams=1, has_write_stream=True, gap=21.0), 0.21, 48),
+    _spec("stream-add", "STREAM", stream,
+          dict(n_read_streams=2, has_write_stream=True, gap=14.0), 0.16, 69),
+    _spec("stream-triad", "STREAM", stream,
+          dict(n_read_streams=2, has_write_stream=True, gap=17.0), 0.18, 59),
+    # --- KVS & data analytics ------------------------------------------------------
+    _spec("masstree", "KVS", kvs,
+          dict(n_keys=M, levels=5, gap=40.0, write_frac=0.08), 0.37, 21),
+    _spec("kmeans", "ANALYTICS", kmeans_scan,
+          dict(points_lines=2 * M, centroid_lines=16, gap=15.0,
+               centroid_prob=0.45, write_frac=0.05), 0.50, 36),
+    # --- PARSEC -------------------------------------------------------------------
+    _spec("fluidanimate", "PARSEC", hot_cold,
+          dict(hot_lines=900, cold_lines=M, hot_prob=0.80, write_frac=0.3,
+               dep_prob=0.1, gap=54.0, spatial=4), 0.73, 7),
+    _spec("facesim", "PARSEC", hot_cold,
+          dict(hot_lines=900, cold_lines=M, hot_prob=0.82, write_frac=0.28,
+               dep_prob=0.1, gap=59.0, spatial=4), 0.74, 6),
+    _spec("raytrace", "PARSEC", hot_cold,
+          dict(hot_lines=800, cold_lines=512 * KLINE, hot_prob=0.88,
+               write_frac=0.08, dep_prob=0.3, gap=52.0, spatial=2), 1.1, 5),
+    _spec("streamcluster", "PARSEC", hot_cold,
+          dict(hot_lines=600, cold_lines=M, hot_prob=0.55, write_frac=0.06,
+               dep_prob=0.05, gap=40.0, spatial=8), 0.95, 14),
+    _spec("canneal", "PARSEC", hot_cold,
+          dict(hot_lines=800, cold_lines=M, hot_prob=0.80, write_frac=0.15,
+               dep_prob=0.4, gap=50.0, spatial=1), 0.61, 7),
+]
+
+WORKLOADS: Dict[str, WorkloadSpec] = {w.name: w for w in _ENTRIES}
+
+SUITES: Dict[str, List[str]] = {}
+for _w in _ENTRIES:
+    SUITES.setdefault(_w.suite, []).append(_w.name)
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a catalog workload by name (KeyError lists valid names)."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; valid: {sorted(WORKLOADS)}") from None
+
+
+def workload_names() -> List[str]:
+    """All 36 workload names in catalog order."""
+    return [w.name for w in _ENTRIES]

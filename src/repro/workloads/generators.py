@@ -1,0 +1,293 @@
+"""Trace generator families.
+
+Each generator maps a small set of behavioural parameters onto a memory
+operation trace:
+
+- ``gap``        — mean non-memory instructions between memory ops
+                   (memory intensity);
+- working sets   — line counts relative to the scaled hierarchy
+                   (L1 256 lines, L2 1K lines, LLC 48K lines total);
+- ``write_frac`` — store fraction;
+- dependency structure — chains bound memory-level parallelism.
+
+All randomness flows from a seeded ``numpy`` generator, so traces are
+reproducible and per-core seeds decorrelate the cores' access streams.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cpu.trace import Trace, TRACE_DTYPE, make_trace
+
+LINE = 64
+_PAGE_SHIFT = 12
+_FRAME_BITS = 36
+_FRAME_MASK = (1 << _FRAME_BITS) - 1
+
+
+def _page_scatter(addr: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Map virtual-like addresses onto scattered physical frames.
+
+    Real OSes hand out physical pages in effectively arbitrary order, which
+    is what spreads large sequential sweeps across DRAM banks/rows. We apply
+    a bijective odd-multiplier hash to the 4 KB frame number (preserving the
+    footprint's cardinality and intra-page locality) with a per-trace salt
+    so different cores' regions don't alias.
+    """
+    a = addr.astype(np.uint64)
+    off = a & np.uint64((1 << _PAGE_SHIFT) - 1)
+    frame = (a >> np.uint64(_PAGE_SHIFT)) & np.uint64(_FRAME_MASK)
+    salt = np.uint64(int(rng.integers(0, 1 << 35)) * 2 + 1)
+    frame = (frame * np.uint64(0x9E3779B97F4A7C15) + salt) & np.uint64(_FRAME_MASK)
+    return (frame << np.uint64(_PAGE_SHIFT)) | off
+
+
+def _rngs(seed: int, struct_seed) -> "tuple[np.random.Generator, np.random.Generator]":
+    """(structure rng, address rng) pair.
+
+    The paper deploys the *same* workload trace on every core, so the cores'
+    compute/memory phases run in lockstep and their misses arrive at the
+    memory controller in correlated bursts. We reproduce that by drawing
+    trace *structure* (gaps, write mix, dependency and hot/cold patterns)
+    from a per-workload ``struct_seed`` shared by all cores, while *address
+    values* come from the per-core ``seed`` so cores touch disjoint data.
+    """
+    rs = np.random.default_rng(seed if struct_seed is None else struct_seed)
+    ra = np.random.default_rng(seed)
+    return rs, ra
+
+
+def _gaps(rng: np.random.Generator, n: int, gap: float, burst: float = 0.0) -> np.ndarray:
+    """Geometric-ish gap distribution with optional burstiness.
+
+    ``burst`` in [0, 1): that fraction of ops arrive back-to-back (gap 0),
+    with the remaining ops carrying correspondingly larger gaps so the mean
+    stays ``gap``.
+    """
+    if gap < 0:
+        raise ValueError("gap must be >= 0")
+    if not 0.0 <= burst < 1.0:
+        raise ValueError("burst must be in [0, 1)")
+    if burst > 0.0:
+        in_burst = rng.random(n) < burst
+        scale = gap / (1.0 - burst) if burst < 1.0 else gap
+        g = np.where(in_burst, 0.0, rng.exponential(scale, n))
+    else:
+        g = rng.exponential(gap, n) if gap > 0 else np.zeros(n)
+    return np.minimum(g, 60000).astype(np.uint16)
+
+
+def _dep_chain_to_prev_load(is_write: np.ndarray, want_dep: np.ndarray) -> np.ndarray:
+    """dep[i] = distance to the most recent load before i (0 if none/unwanted)."""
+    n = len(is_write)
+    idx = np.arange(n)
+    last_load = np.where(is_write == 0, idx, -1)
+    last_load = np.maximum.accumulate(last_load)
+    prev = np.empty(n, dtype=np.int64)
+    prev[0] = -1
+    prev[1:] = last_load[:-1]
+    dep = np.where(want_dep & (prev >= 0), idx - prev, 0)
+    return dep.astype(np.int32)
+
+
+def _skewed_indices(rng: np.random.Generator, n: int, universe: int, skew: float) -> np.ndarray:
+    """Power-law-skewed indices in [0, universe): higher ``skew`` = hotter head."""
+    if universe < 1:
+        raise ValueError("universe must be >= 1")
+    u = rng.random(n)
+    return np.minimum((u ** max(1.0, skew) * universe).astype(np.int64), universe - 1)
+
+
+# ---------------------------------------------------------------------------
+# Families
+# ---------------------------------------------------------------------------
+
+def stream(n_ops: int, seed: int, n_read_streams: int = 1, has_write_stream: bool = True,
+           gap: float = 8.0, ws_lines: int = 1 << 21, pc_base: int = 0x1000,
+           struct_seed=None) -> Trace:
+    """STREAM-style kernels: long unit-stride streams, zero reuse, high MLP.
+
+    ``copy``/``scale`` use one read + one write stream; ``add``/``triad``
+    use two read streams + one write stream.
+    """
+    streams = n_read_streams + (1 if has_write_stream else 0)
+    iters = n_ops // streams + 1
+    base = [int(s) * ws_lines * LINE * 4 for s in range(streams)]
+    addr_cols = []
+    write_cols = []
+    pc_cols = []
+    offs = np.arange(iters, dtype=np.int64) % ws_lines * LINE
+    for s in range(streams):
+        addr_cols.append(base[s] + offs)
+        is_w = has_write_stream and s == streams - 1
+        write_cols.append(np.full(iters, 1 if is_w else 0, dtype=np.uint8))
+        pc_cols.append(np.full(iters, pc_base + 16 * s, dtype=np.uint32))
+    addr = np.stack(addr_cols, axis=1).reshape(-1)[:n_ops]
+    is_write = np.stack(write_cols, axis=1).reshape(-1)[:n_ops]
+    pc = np.stack(pc_cols, axis=1).reshape(-1)[:n_ops]
+    rs, ra = _rngs(seed, struct_seed)
+    # Per-core offset so cores stream disjoint regions.
+    addr = addr + (int(ra.integers(0, 1 << 12)) * ws_lines * LINE * 16)
+    gaps = _gaps(rs, n_ops, gap)
+    dep = np.zeros(n_ops, dtype=np.int32)
+    addr = _page_scatter(addr, ra)
+    return make_trace(gaps, addr, is_write, pc, dep, "stream")
+
+
+def hot_cold(n_ops: int, seed: int, hot_lines: int = 512, cold_lines: int = 1 << 20,
+             hot_prob: float = 0.7, write_frac: float = 0.2, dep_prob: float = 0.1,
+             gap: float = 12.0, burst: float = 0.0, spatial: int = 1,
+             pc_count: int = 32, struct_seed=None) -> Trace:
+    """General-purpose pattern: a hot set plus a large cold footprint.
+
+    ``hot_prob`` controls hit rates; ``spatial`` > 1 walks that many
+    consecutive lines per cold touch (spatial locality); ``dep_prob`` makes
+    ops depend on the previous load (limits MLP).
+    """
+    rs, ra = _rngs(seed, struct_seed)
+    core_off = int(ra.integers(0, 1 << 10)) * (cold_lines + hot_lines) * LINE * 2
+    is_hot = rs.random(n_ops) < hot_prob
+    hot_addr = ra.integers(0, hot_lines, n_ops) * LINE
+    if spatial > 1:
+        n_groups = n_ops // spatial + 1
+        g_base = ra.integers(0, max(1, cold_lines - spatial), n_groups)
+        cold_addr = (np.repeat(g_base, spatial)[:n_ops]
+                     + np.tile(np.arange(spatial), n_groups)[:n_ops]) * LINE
+    else:
+        cold_addr = ra.integers(0, cold_lines, n_ops) * LINE
+    addr = np.where(is_hot, hot_addr, hot_lines * LINE + cold_addr) + core_off
+    is_write = (rs.random(n_ops) < write_frac).astype(np.uint8)
+    pc = (rs.integers(0, pc_count, n_ops) * 4 + 0x4000).astype(np.uint32)
+    dep = _dep_chain_to_prev_load(is_write, rs.random(n_ops) < dep_prob)
+    gaps = _gaps(rs, n_ops, gap, burst)
+    addr = _page_scatter(addr, ra)
+    return make_trace(gaps, addr, is_write, pc, dep, "hot_cold")
+
+
+def pointer_chase(n_ops: int, seed: int, ws_lines: int = 1 << 18, chain_len: int = 6,
+                  write_frac: float = 0.1, gap: float = 15.0,
+                  hot_lines: int = 0, hot_prob: float = 0.0,
+                  struct_seed=None) -> Trace:
+    """Linked-structure traversal: dependent load chains (low MLP).
+
+    Each chain is ``chain_len`` loads, each depending on the previous;
+    chains themselves are independent (a new traversal).
+    """
+    rs, ra = _rngs(seed, struct_seed)
+    core_off = int(ra.integers(0, 1 << 10)) * ws_lines * LINE * 2
+    pos_in_chain = np.arange(n_ops) % max(1, chain_len)
+    if hot_lines > 0 and hot_prob > 0:
+        is_hot = rs.random(n_ops) < hot_prob
+        addr = np.where(is_hot,
+                        ra.integers(0, hot_lines, n_ops),
+                        hot_lines + ra.integers(0, ws_lines, n_ops)) * LINE
+    else:
+        addr = ra.integers(0, ws_lines, n_ops) * LINE
+    addr = addr + core_off
+    is_write = ((rs.random(n_ops) < write_frac) & (pos_in_chain == chain_len - 1)).astype(np.uint8)
+    dep = np.where((pos_in_chain > 0) & (is_write == 0), 1, 0).astype(np.int32)
+    # Writes at chain ends depend on the load before them too.
+    dep = np.where((is_write == 1) & (pos_in_chain > 0), 1, dep).astype(np.int32)
+    pc = ((pos_in_chain * 4) + 0x8000).astype(np.uint32)
+    gaps = _gaps(rs, n_ops, gap)
+    addr = _page_scatter(addr, ra)
+    return make_trace(gaps, addr, is_write, pc, dep, "pointer_chase")
+
+
+def strided(n_ops: int, seed: int, ws_lines: int = 1 << 20, n_streams: int = 4,
+            stride_lines: int = 1, write_frac: float = 0.15, gap: float = 10.0,
+            reuse_prob: float = 0.0, reuse_lines: int = 256,
+            struct_seed=None) -> Trace:
+    """SPEC-FP-style blocked/strided sweeps with optional hot reuse set."""
+    rs, ra = _rngs(seed, struct_seed)
+    core_off = int(ra.integers(0, 1 << 10)) * ws_lines * LINE * (n_streams + 1)
+    stream_id = np.arange(n_ops) % n_streams
+    iter_no = np.arange(n_ops) // n_streams
+    addr = (stream_id * ws_lines + (iter_no * stride_lines) % ws_lines) * LINE
+    if reuse_prob > 0:
+        reuse = rs.random(n_ops) < reuse_prob
+        hot = ra.integers(0, reuse_lines, n_ops) * LINE + n_streams * ws_lines * LINE
+        addr = np.where(reuse, hot, addr)
+    addr = addr + core_off
+    is_write = (rs.random(n_ops) < write_frac).astype(np.uint8)
+    pc = (stream_id * 8 + 0xC000).astype(np.uint32)
+    dep = np.zeros(n_ops, dtype=np.int32)
+    gaps = _gaps(rs, n_ops, gap)
+    addr = _page_scatter(addr, ra)
+    return make_trace(gaps, addr, is_write, pc, dep, "strided")
+
+
+def graph_analytics(n_ops: int, seed: int, n_vertices: int = 1 << 17, skew: float = 2.0,
+                    edge_gap: float = 6.0, write_frac: float = 0.12,
+                    dep_frac: float = 0.5, frontier_lines: int = 256,
+                    struct_seed=None) -> Trace:
+    """LIGRA-style push/pull iteration: sequential edge scans feeding
+    skewed random vertex accesses (the vertex load depends on the edge load)."""
+    rs, ra = _rngs(seed, struct_seed)
+    core_off = int(ra.integers(0, 1 << 10)) * n_vertices * LINE * 8
+    n_pairs = n_ops // 2 + 1
+    # Edge array scan: sequential lines.
+    edge_addr = (np.arange(n_pairs, dtype=np.int64) % (n_vertices * 4)) * LINE
+    # Vertex data: skewed random; hot/cold choice is structural (lockstep
+    # across cores), the concrete cold vertex is per-core.
+    v = _skewed_indices(rs, n_pairs, n_vertices, skew)
+    vert_addr = (n_vertices * 4 + v) * LINE
+    addr = np.empty(2 * n_pairs, dtype=np.int64)
+    addr[0::2] = edge_addr
+    addr[1::2] = vert_addr
+    addr = addr[:n_ops] + core_off
+    is_write = np.zeros(n_ops, dtype=np.uint8)
+    vert_slots = np.arange(n_ops) % 2 == 1
+    is_write[vert_slots & (rs.random(n_ops) < write_frac)] = 1
+    # Vertex access depends on the edge load just before it.
+    dep = np.zeros(n_ops, dtype=np.int32)
+    dep_mask = vert_slots & (rs.random(n_ops) < dep_frac)
+    dep_mask &= np.arange(n_ops) >= 1
+    dep[dep_mask] = 1
+    pc = np.where(vert_slots, 0x10010, 0x10000).astype(np.uint32)
+    gaps = _gaps(rs, n_ops, edge_gap)
+    addr = _page_scatter(addr, ra)
+    return make_trace(gaps, addr, is_write, pc, dep, "graph")
+
+
+def kvs(n_ops: int, seed: int, n_keys: int = 1 << 18, levels: int = 5,
+        gap: float = 10.0, write_frac: float = 0.08, struct_seed=None) -> Trace:
+    """Masstree-style lookups: per query, ``levels`` dependent loads walking
+    a tree whose top levels are hot and leaves are cold."""
+    rs, ra = _rngs(seed, struct_seed)
+    core_off = int(ra.integers(0, 1 << 10)) * n_keys * LINE * 4
+    level = np.arange(n_ops) % levels
+    # Level k spans ~ n_keys / 8^(levels-1-k) nodes: root tiny, leaves huge.
+    span = np.maximum(1, (n_keys / (8.0 ** (levels - 1 - level))).astype(np.int64))
+    node = (ra.random(n_ops) * span).astype(np.int64)
+    base = np.cumsum([0] + [max(1, n_keys // (8 ** (levels - 1 - k))) for k in range(levels)])
+    addr = (base[level] + node) * LINE + core_off
+    is_write = ((level == levels - 1) & (rs.random(n_ops) < write_frac * levels)).astype(np.uint8)
+    dep = np.where((level > 0) & (is_write == 0), 1, 0).astype(np.int32)
+    dep = np.where((level > 0) & (is_write == 1), 1, dep).astype(np.int32)
+    pc = (level * 4 + 0x20000).astype(np.uint32)
+    gaps = _gaps(rs, n_ops, gap)
+    addr = _page_scatter(addr, ra)
+    return make_trace(gaps, addr, is_write, pc, dep, "kvs")
+
+
+def kmeans_scan(n_ops: int, seed: int, points_lines: int = 1 << 20,
+                centroid_lines: int = 16, gap: float = 9.0,
+                centroid_prob: float = 0.45, write_frac: float = 0.05,
+                struct_seed=None) -> Trace:
+    """K-means: streaming point scan interleaved with hot centroid reads."""
+    rs, ra = _rngs(seed, struct_seed)
+    core_off = int(ra.integers(0, 1 << 10)) * points_lines * LINE * 2
+    is_centroid = rs.random(n_ops) < centroid_prob
+    seq = np.cumsum((~is_centroid).astype(np.int64)) % points_lines
+    cent = ra.integers(0, centroid_lines, n_ops)
+    addr = np.where(is_centroid, cent, centroid_lines + seq) * LINE + core_off
+    is_write = (is_centroid & (rs.random(n_ops) < write_frac / max(centroid_prob, 1e-9))).astype(np.uint8)
+    dep = np.zeros(n_ops, dtype=np.int32)
+    pc = np.where(is_centroid, 0x30010, 0x30000).astype(np.uint32)
+    gaps = _gaps(rs, n_ops, gap)
+    addr = _page_scatter(addr, ra)
+    return make_trace(gaps, addr, is_write, pc, dep, "kmeans")

@@ -1,0 +1,32 @@
+"""Mixed workloads (paper Figure 6): random 12-workload combinations."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cpu.trace import Trace
+from repro.workloads.catalog import WORKLOADS, workload_names
+
+
+def make_mix(n_cores: int, seed: int, ops_per_core: int = 6000,
+             pool: Optional[Sequence[str]] = None) -> Tuple[str, List[Trace]]:
+    """One mix: ``n_cores`` randomly sampled workloads, one trace per core.
+
+    Returns ``(mix_name, traces)``; sampling is with replacement, as the
+    paper's mixes draw 12 workloads from the 36-entry table.
+    """
+    rng = random.Random(seed)
+    names = list(pool or workload_names())
+    chosen = [rng.choice(names) for _ in range(n_cores)]
+    traces = [
+        WORKLOADS[name].generate(ops_per_core, seed=seed * 7919 + i)
+        for i, name in enumerate(chosen)
+    ]
+    return f"mix{seed}", traces
+
+
+def make_mixes(n_mixes: int = 10, n_cores: int = 12, ops_per_core: int = 6000,
+               base_seed: int = 1) -> List[Tuple[str, List[Trace]]]:
+    """The paper's 10 random mixes (Figure 6)."""
+    return [make_mix(n_cores, base_seed + m, ops_per_core) for m in range(n_mixes)]

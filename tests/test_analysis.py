@@ -1,0 +1,115 @@
+"""Unit tests for analysis helpers."""
+
+import pytest
+
+from repro.analysis import format_table, geomean, speedup_table
+from repro.analysis.tables import clear_cache, run_one, run_suite
+from repro.system.config import baseline_config
+from repro.system.stats import SimResult, breakdown_from_records
+
+
+def _result(name="w", ipc=1.0):
+    return SimResult(
+        config_name="cfg", workload_name=name, ipc=ipc, core_ipcs=[ipc],
+        instructions=1000, elapsed_ns=1000.0, n_misses=10,
+        avg_miss_latency=100.0, avg_onchip=10.0, avg_queuing=50.0,
+        avg_dram=40.0, avg_cxl=0.0, p90_miss_latency=150.0,
+        bandwidth_gbps=10.0, read_bandwidth_gbps=8.0, write_bandwidth_gbps=2.0,
+        peak_bandwidth_gbps=38.4, llc_mpki=20.0, llc_hit_rate=0.3,
+    )
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestSpeedupTable:
+    def test_matches_common_keys(self):
+        base = {"a": _result(ipc=1.0), "b": _result(ipc=2.0)}
+        other = {"a": _result(ipc=2.0), "c": _result(ipc=9.0)}
+        t = speedup_table(base, other)
+        assert t == {"a": pytest.approx(2.0)}
+
+
+class TestFormatTable:
+    def test_renders_all_rows(self):
+        out = format_table(["x", "why"], [["a", 1.5], ["bb", 2.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "1.50" in out and "2.25" in out
+        assert lines[0].startswith("x")
+
+    def test_empty_rows(self):
+        out = format_table(["col"], [])
+        assert "col" in out
+
+
+class TestBreakdown:
+    def test_empty_records(self):
+        bd = breakdown_from_records([])
+        assert bd["n"] == 0 and bd["total"] == 0.0
+
+    def test_averages(self):
+        recs = [(100.0, 10.0, 50.0, 40.0, 0.0), (200.0, 20.0, 100.0, 80.0, 0.0)]
+        bd = breakdown_from_records(recs)
+        assert bd["total"] == pytest.approx(150.0)
+        assert bd["queuing"] == pytest.approx(75.0)
+        assert bd["p90"] > bd["total"]
+
+
+class TestSimResult:
+    def test_utilization(self):
+        r = _result()
+        assert r.bandwidth_utilization == pytest.approx(10.0 / 38.4)
+
+    def test_cpi_inverse(self):
+        assert _result(ipc=2.0).cpi == pytest.approx(0.5)
+
+    def test_speedup(self):
+        assert _result(ipc=2.0).speedup_over(_result(ipc=1.0)) == pytest.approx(2.0)
+
+
+class TestRunSuiteCache:
+    def test_memoization_returns_same_object(self):
+        clear_cache()
+        cfg = baseline_config()
+        r1 = run_one(cfg, "mcf", ops_per_core=300)
+        r2 = run_one(cfg, "mcf", ops_per_core=300)
+        assert r1 is r2
+        clear_cache()
+
+    def test_suite_collects_all(self):
+        clear_cache()
+        s = run_suite(baseline_config(), ["mcf", "BFS"], ops_per_core=300)
+        assert set(s.results) == {"mcf", "BFS"}
+        assert s.ipcs()["mcf"] > 0
+        clear_cache()
+
+
+class TestWeightedSpeedup:
+    def test_identity_when_alone(self):
+        from repro.analysis.report import weighted_speedup
+        assert weighted_speedup([1.0, 2.0], [1.0, 2.0]) == pytest.approx(2.0)
+
+    def test_contention_lowers_metric(self):
+        from repro.analysis.report import weighted_speedup
+        ws = weighted_speedup([0.5, 1.0], [1.0, 2.0])
+        assert ws == pytest.approx(1.0)
+
+    def test_mismatched_lengths_rejected(self):
+        from repro.analysis.report import weighted_speedup
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [1.0, 2.0])
+
+    def test_nonpositive_alone_rejected(self):
+        from repro.analysis.report import weighted_speedup
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [0.0])

@@ -1,0 +1,66 @@
+"""Unit tests for the pin and area models (Figure 1, Tables I/II)."""
+
+import pytest
+
+from repro.area import (
+    AREA_TABLE, DDR_GENERATIONS, PCIE_GENERATIONS,
+    bandwidth_per_pin_table, server_design_table,
+)
+from repro.area.model import ServerDesign
+from repro.area.pins import pcie_vs_ddr_gap
+
+
+class TestPins:
+    def test_pcie5_vs_ddr5_gap_is_about_4x(self):
+        """The paper's headline claim (Figure 1 / Section II-C)."""
+        assert pcie_vs_ddr_gap() == pytest.approx(4.1, abs=0.3)
+
+    def test_table_normalized_to_reference(self):
+        t = bandwidth_per_pin_table("PCIe-1.0")
+        assert t["PCIe-1.0"] == pytest.approx(1.0)
+
+    def test_unknown_reference_rejected(self):
+        with pytest.raises(KeyError):
+            bandwidth_per_pin_table("PCIe-9.0")
+
+    def test_bw_per_pin_monotone_within_families(self):
+        for fam in (DDR_GENERATIONS, PCIE_GENERATIONS):
+            vals = [g.bw_per_pin for g in fam]
+            assert vals == sorted(vals)
+
+
+class TestAreaModel:
+    def test_table1_values(self):
+        assert AREA_TABLE["llc_1mb"].area == 1
+        assert AREA_TABLE["core"].area == 6.5
+        assert AREA_TABLE["pcie_x8"].area == 5.9
+        assert AREA_TABLE["ddr_channel"].area == 10.8
+
+    def test_x8_pcie_is_55pct_of_ddr(self):
+        assert AREA_TABLE["pcie_x8"].area / AREA_TABLE["ddr_channel"].area == \
+            pytest.approx(0.55, abs=0.01)
+
+    def test_table2_relative_areas(self):
+        rows = {r["design"]: r for r in server_design_table()}
+        assert rows["DDR-based"]["relative_area"] == pytest.approx(1.0)
+        # Paper: COAXIAL-5x costs ~17% more area.
+        assert rows["COAXIAL-5x"]["relative_area"] == pytest.approx(1.17, abs=0.03)
+        # Paper: COAXIAL-4x is roughly iso-area (1.01).
+        assert rows["COAXIAL-4x"]["relative_area"] == pytest.approx(1.01, abs=0.03)
+
+    def test_table2_relative_bandwidth(self):
+        rows = {r["design"]: r for r in server_design_table()}
+        assert rows["COAXIAL-2x"]["relative_bw"] == pytest.approx(2.0)
+        assert rows["COAXIAL-4x"]["relative_bw"] == pytest.approx(4.0)
+        assert rows["COAXIAL-5x"]["relative_bw"] == pytest.approx(5.0)
+
+    def test_iso_pin_design(self):
+        """COAXIAL-5x replaces each 160-pin DDR channel with 5 x 32-pin CXL."""
+        rows = {r["design"]: r for r in server_design_table()}
+        assert rows["COAXIAL-5x"]["mem_pins"] == rows["DDR-based"]["mem_pins"]
+
+    def test_design_pin_arithmetic(self):
+        d = ServerDesign("x", 144, 2.0, 12, 0)
+        assert d.pins == 12 * 160
+        d2 = ServerDesign("y", 144, 2.0, 0, 48)
+        assert d2.pins == 48 * 32

@@ -1,0 +1,128 @@
+"""Unit tests for the set-associative cache array."""
+
+import pytest
+
+from repro.cache.cache import CacheArray, CacheLevel
+
+
+class TestCacheArray:
+    def test_rejects_non_pow2_sets(self):
+        with pytest.raises(ValueError):
+            CacheArray(sets=3, ways=4)
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ValueError):
+            CacheArray(sets=4, ways=0)
+
+    def test_miss_then_hit_after_fill(self):
+        c = CacheArray(16, 4)
+        assert not c.lookup(0x1000)
+        c.fill(0x1000)
+        assert c.lookup(0x1000)
+
+    def test_same_line_different_offsets_hit(self):
+        c = CacheArray(16, 4)
+        c.fill(0x1000)
+        assert c.lookup(0x1004)
+        assert c.lookup(0x103F)
+
+    def test_lru_eviction_order(self):
+        c = CacheArray(1, 2)  # single set, 2 ways
+        c.fill(0 * 64)
+        c.fill(1 * 64)
+        c.lookup(0 * 64)          # refresh line 0
+        victim = c.fill(2 * 64)   # must evict line 1
+        assert victim is not None
+        assert victim[0] == 1 * 64
+
+    def test_dirty_bit_propagates_to_eviction(self):
+        c = CacheArray(1, 1)
+        c.fill(0, dirty=False)
+        c.lookup(0, is_write=True)
+        victim = c.fill(64)
+        assert victim == (0, True)
+
+    def test_clean_eviction(self):
+        c = CacheArray(1, 1)
+        c.fill(0)
+        victim = c.fill(64)
+        assert victim == (0, False)
+
+    def test_fill_present_line_refreshes_without_eviction(self):
+        c = CacheArray(1, 2)
+        c.fill(0)
+        c.fill(64)
+        assert c.fill(0) is None  # already present
+        victim = c.fill(128)
+        assert victim[0] == 64  # 0 was refreshed by the re-fill
+
+    def test_occupancy_bounded_by_capacity(self):
+        c = CacheArray(4, 2)
+        for i in range(100):
+            c.fill(i * 64)
+        assert c.occupancy() == 8
+
+    def test_invalidate_returns_dirty_state(self):
+        c = CacheArray(4, 2)
+        c.fill(0, dirty=True)
+        assert c.invalidate(0) is True
+        assert c.invalidate(0) is None
+        assert not c.probe(0)
+
+    def test_probe_does_not_touch_lru(self):
+        c = CacheArray(1, 2)
+        c.fill(0)
+        c.fill(64)
+        c.probe(0)               # must NOT refresh line 0
+        victim = c.fill(128)
+        assert victim[0] == 0
+
+    def test_set_dirty(self):
+        c = CacheArray(4, 2)
+        c.fill(0)
+        assert c.set_dirty(0)
+        assert not c.set_dirty(4096 * 64)
+        victim = c.fill(0 + 4 * 64 * 2 * 100)  # may or may not evict
+        # eviction of line 0 eventually carries dirty
+        c2 = CacheArray(1, 1)
+        c2.fill(0)
+        c2.set_dirty(0)
+        assert c2.fill(64) == (0, True)
+
+    def test_hit_rate_counters(self):
+        c = CacheArray(4, 2)
+        c.fill(0)
+        c.lookup(0)
+        c.lookup(64 * 999)
+        assert c.n_lookups == 2
+        assert c.n_hits == 1
+        assert c.hit_rate() == pytest.approx(0.5)
+
+    def test_reset_counters(self):
+        c = CacheArray(4, 2)
+        c.fill(0)
+        c.lookup(0)
+        c.reset_counters()
+        assert c.n_lookups == 0 and c.n_hits == 0
+
+    def test_victim_address_reconstruction(self):
+        """Evicted victim addresses must map back to the same set."""
+        c = CacheArray(8, 1)
+        addr = 5 * 64  # set 5
+        c.fill(addr)
+        victim = c.fill(addr + 8 * 64)  # same set, different tag
+        assert victim is not None
+        v_set = (victim[0] >> 6) & 7
+        assert v_set == 5
+        assert victim[0] == addr
+
+
+class TestCacheLevel:
+    def test_sizing_arithmetic(self):
+        lvl = CacheLevel("l2", 64 * 1024, 8, 3.0)
+        assert lvl.array.sets == 128
+        assert lvl.array.capacity_bytes == 64 * 1024
+
+    def test_rejects_non_divisible_size(self):
+        with pytest.raises(ValueError):
+            CacheLevel("bad", 1000, 3, 1.0)

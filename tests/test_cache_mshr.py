@@ -1,0 +1,60 @@
+"""Unit tests for the MSHR file."""
+
+import pytest
+
+from repro.cache.mshr import MSHRFile
+
+
+class TestMSHRFile:
+    def test_needs_capacity(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+    def test_primary_allocation(self):
+        m = MSHRFile(4)
+        assert m.allocate(0x100) == "primary"
+        assert m.outstanding(0x100)
+
+    def test_secondary_merges(self):
+        m = MSHRFile(4)
+        m.allocate(0x100, waiter="a")
+        assert m.allocate(0x100, waiter="b") == "merged"
+        assert m.occupancy == 1
+        assert m.n_merges == 1
+
+    def test_full_rejects(self):
+        m = MSHRFile(2)
+        m.allocate(0x100)
+        m.allocate(0x200)
+        assert m.allocate(0x300) is None
+        assert m.n_full_rejections == 1
+
+    def test_merge_allowed_when_full(self):
+        m = MSHRFile(1)
+        m.allocate(0x100, waiter="a")
+        assert m.allocate(0x100, waiter="b") == "merged"
+
+    def test_complete_returns_waiters_in_order(self):
+        m = MSHRFile(4)
+        m.allocate(0x100, waiter=1)
+        m.allocate(0x100, waiter=2)
+        m.allocate(0x100, waiter=3)
+        assert m.complete(0x100) == [1, 2, 3]
+        assert not m.outstanding(0x100)
+
+    def test_complete_unknown_line_is_empty(self):
+        m = MSHRFile(4)
+        assert m.complete(0xDEAD) == []
+
+    def test_slot_reusable_after_complete(self):
+        m = MSHRFile(1)
+        m.allocate(0x100)
+        m.complete(0x100)
+        assert m.allocate(0x200) == "primary"
+
+    def test_full_property(self):
+        m = MSHRFile(2)
+        assert not m.full
+        m.allocate(0x100)
+        m.allocate(0x200)
+        assert m.full

@@ -1,0 +1,125 @@
+"""Tests for the ChampSim trace importer/exporter."""
+
+import lzma
+import struct
+
+import numpy as np
+import pytest
+
+from repro.cpu.trace import Trace, TRACE_DTYPE, load_trace, save_trace
+from repro.workloads.champsim import (
+    RECORD_BYTES, read_champsim_trace, write_champsim_trace,
+)
+
+REC = struct.Struct("<Q2B2B4B2Q4Q")
+
+
+def record(ip=0x1000, dregs=(0, 0), sregs=(0, 0, 0, 0),
+           dmem=(0, 0), smem=(0, 0, 0, 0)):
+    return REC.pack(ip, 0, 0, *dregs, *sregs, *dmem, *smem)
+
+
+class TestReader:
+    def test_record_size(self):
+        assert RECORD_BYTES == 64
+        assert len(record()) == 64
+
+    def test_load_extraction(self):
+        data = record(smem=(0x4000, 0, 0, 0))
+        t = read_champsim_trace(data)
+        assert t.n_ops == 1
+        assert t.arr["addr"][0] == 0x4000
+        assert t.arr["is_write"][0] == 0
+
+    def test_store_extraction(self):
+        data = record(dmem=(0x8000, 0))
+        t = read_champsim_trace(data)
+        assert t.arr["is_write"][0] == 1
+
+    def test_gap_accumulation(self):
+        data = record() * 5 + record(smem=(0x4000, 0, 0, 0))
+        t = read_champsim_trace(data)
+        assert t.n_ops == 1
+        assert t.arr["gap"][0] == 5
+
+    def test_register_dataflow_dependency(self):
+        # Load writes r7; the next load reads r7 -> dep distance 1.
+        producer = record(ip=0x10, dregs=(7, 0), smem=(0x4000, 0, 0, 0))
+        consumer = record(ip=0x20, sregs=(7, 0, 0, 0), smem=(0x8000, 0, 0, 0))
+        t = read_champsim_trace(producer + consumer)
+        assert t.n_ops == 2
+        assert t.arr["dep"][1] == 1
+
+    def test_non_load_breaks_dependency(self):
+        producer = record(dregs=(7, 0), smem=(0x4000, 0, 0, 0))
+        clobber = record(dregs=(7, 0))  # ALU op overwrites r7
+        consumer = record(sregs=(7, 0, 0, 0), smem=(0x8000, 0, 0, 0))
+        t = read_champsim_trace(producer + clobber + consumer)
+        assert t.arr["dep"][1] == 0
+
+    def test_max_ops_truncates(self):
+        data = record(smem=(0x4000, 0, 0, 0)) * 10
+        t = read_champsim_trace(data, max_ops=3)
+        assert t.n_ops == 3
+
+    def test_multiple_mem_slots_per_instruction(self):
+        data = record(smem=(0x100, 0x200, 0, 0), dmem=(0x300, 0))
+        t = read_champsim_trace(data)
+        assert t.n_ops == 3
+        assert list(t.arr["is_write"]) == [0, 0, 1]
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            read_champsim_trace(b"")
+
+    def test_memoryless_trace_rejected(self):
+        with pytest.raises(ValueError):
+            read_champsim_trace(record() * 4)
+
+    def test_xz_transparent(self, tmp_path):
+        data = record(smem=(0x4040, 0, 0, 0))
+        path = tmp_path / "t.champsim.xz"
+        path.write_bytes(lzma.compress(data))
+        t = read_champsim_trace(path)
+        assert t.arr["addr"][0] == 0x4040
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        arr = np.zeros(4, dtype=TRACE_DTYPE)
+        arr["gap"] = [2, 0, 1, 0]
+        arr["addr"] = [0x100, 0x200, 0x300, 0x400]
+        arr["is_write"] = [0, 0, 1, 0]
+        arr["dep"] = [0, 1, 0, 0]
+        arr["pc"] = [0x40, 0x44, 0x48, 0x4C]
+        src = Trace(arr)
+        path = tmp_path / "out.champsim"
+        write_champsim_trace(src, path)
+        back = read_champsim_trace(path)
+        assert back.n_ops == 4
+        assert list(back.arr["addr"]) == [0x100, 0x200, 0x300, 0x400]
+        assert list(back.arr["is_write"]) == [0, 0, 1, 0]
+        assert list(back.arr["gap"]) == [2, 0, 1, 0]
+        assert back.arr["dep"][1] == 1
+
+    def test_trace_runs_through_simulator(self, tmp_path):
+        from repro.system.config import baseline_config
+        from repro.system.sim import simulate
+        from repro.workloads.generators import hot_cold
+        src = hot_cold(400, seed=3)
+        path = tmp_path / "x.champsim"
+        write_champsim_trace(src, path)
+        traces = [read_champsim_trace(path) for _ in range(12)]
+        r = simulate(baseline_config(), traces)
+        assert r.ipc > 0
+
+
+class TestNpzPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        from repro.workloads.generators import strided
+        t = strided(200, seed=1)
+        p = tmp_path / "trace.npz"
+        save_trace(t, p)
+        back = load_trace(p)
+        assert np.array_equal(back.arr, t.arr)
+        assert back.name == t.name

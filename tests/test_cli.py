@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.config == "coaxial-4x"
+        assert args.workload == "stream-copy"
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--config", "nope"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "coaxial-4x" in out
+        assert "stream-copy" in out
+
+    def test_run_small(self, capsys):
+        rc = main(["run", "--workload", "mcf", "--ops", "300",
+                   "--config", "ddr-baseline"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out and "IPC" in out
+
+    def test_run_with_calm_override(self, capsys):
+        rc = main(["run", "--workload", "mcf", "--ops", "300",
+                   "--config", "coaxial-4x", "--calm", "never"])
+        assert rc == 0
+
+    def test_run_unknown_workload(self, capsys):
+        assert main(["run", "--workload", "nope", "--ops", "100"]) == 2
+
+    def test_compare(self, capsys):
+        rc = main(["compare", "--workloads", "mcf", "--configs", "coaxial-4x",
+                   "--ops", "300"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "geomean speedup" in out
+
+    def test_compare_unknown_config(self, capsys):
+        assert main(["compare", "--workloads", "mcf",
+                     "--configs", "warpdrive"]) == 2
+
+    def test_curve(self, capsys):
+        rc = main(["curve", "--loads", "0.1,0.3", "--requests", "300"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "p90" in out
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "COAXIAL-4x" in out
+
+    def test_power(self, capsys):
+        assert main(["power"]) == 0
+        out = capsys.readouterr().out
+        assert "EDP ratio" in out
+
+    def test_cost(self, capsys):
+        assert main(["cost", "--capacity", "3072"]) == 0
+        out = capsys.readouterr().out
+        assert "COAXIAL" in out

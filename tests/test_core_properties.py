@@ -1,0 +1,130 @@
+"""Property-based tests on the out-of-order core's timing invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import Simulator
+from repro.cache.cache import CacheLevel
+from repro.cpu.core import Core, CoreParams
+from repro.cpu.trace import Trace, TRACE_DTYPE
+
+
+class RecordingMemory:
+    """Fixed-latency backend recording miss issue order and times."""
+
+    def __init__(self, sim, latency):
+        self.sim = sim
+        self.latency = latency
+        self.events = []
+
+    def l2_miss(self, core, op_idx, addr, is_write, pc, prefetch=False):
+        self.events.append((self.sim.now, op_idx, addr))
+        self.sim.schedule(self.latency, core.complete_miss, op_idx, addr)
+
+    def l2_writeback(self, core, addr):
+        pass
+
+
+def run_core(arr, latency=120.0, params=None):
+    sim = Simulator()
+    mem = RecordingMemory(sim, latency)
+    params = params or CoreParams()
+    l1 = CacheLevel("l1", 16 * 1024, 8, 4 / 2.4)
+    l2 = CacheLevel("l2", 64 * 1024, 8, 8 / 2.4)
+    core = Core(sim, 0, params, l1, l2, mem.l2_miss, mem.l2_writeback)
+    core.start(Trace(arr))
+    sim.run()
+    return core, mem
+
+
+@st.composite
+def traces(draw):
+    n = draw(st.integers(1, 60))
+    arr = np.zeros(n, dtype=TRACE_DTYPE)
+    arr["gap"] = draw(st.lists(st.integers(0, 30), min_size=n, max_size=n))
+    # Addresses: mix of a few hot lines and distinct cold lines.
+    kinds = draw(st.lists(st.integers(0, 3), min_size=n, max_size=n))
+    addrs = []
+    for i, k in enumerate(kinds):
+        if k == 0:
+            addrs.append(0x1000)                      # hot line
+        else:
+            addrs.append((i + 1) * 64 * 1009)         # unique cold line
+    arr["addr"] = addrs
+    arr["is_write"] = draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+    # dep: each op may depend on the most recent prior load.
+    want = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    last_load = -1
+    for i in range(n):
+        if want[i] and last_load >= 0:
+            arr["dep"][i] = i - last_load
+        if not arr["is_write"][i]:
+            last_load = i
+    return arr
+
+
+class TestCoreInvariants:
+    @given(traces())
+    @settings(max_examples=40, deadline=None)
+    def test_always_terminates_and_orders_time(self, arr):
+        core, mem = run_core(arr)
+        assert core.done
+        assert core.finish_time >= core.start_time
+        # every recorded completion is at or after its issue
+        for c in core.comp:
+            assert c >= 0.0 or c == -1.0
+
+    @given(traces())
+    @settings(max_examples=40, deadline=None)
+    def test_ipc_bounded_by_width(self, arr):
+        core, _ = run_core(arr)
+        if core.finish_time > core.start_time:
+            assert core.ipc <= core.params.width + 1e-6
+
+    @given(traces())
+    @settings(max_examples=40, deadline=None)
+    def test_miss_count_bounded_by_distinct_lines(self, arr):
+        core, mem = run_core(arr)
+        distinct = len({a & ~0x3F for a in arr["addr"].tolist()})
+        assert len(mem.events) <= distinct
+
+    @given(traces(), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_mshr_bound_respected(self, arr, mshrs):
+        sim = Simulator()
+        events = []
+
+        class Mem:
+            def l2_miss(self, core, op_idx, addr, is_write, pc, prefetch=False):
+                events.append(("issue", sim.now))
+                sim.schedule(200.0, core.complete_miss, op_idx, addr)
+
+            def l2_writeback(self, core, addr):
+                pass
+
+        params = CoreParams(mshrs=mshrs)
+        l1 = CacheLevel("l1", 16 * 1024, 8, 1.0)
+        l2 = CacheLevel("l2", 64 * 1024, 8, 2.0)
+        core = Core(sim, 0, params, l1, l2, Mem().l2_miss, Mem().l2_writeback)
+        core.start(Trace(arr))
+        sim.run()
+        assert core.done
+        # Outstanding misses never exceeded the MSHR count.
+        assert core.mshr.occupancy == 0
+
+    @given(traces())
+    @settings(max_examples=30, deadline=None)
+    def test_longer_latency_never_faster(self, arr):
+        fast, _ = run_core(arr, latency=60.0)
+        slow, _ = run_core(arr, latency=400.0)
+        assert slow.finish_time - slow.start_time >= \
+            (fast.finish_time - fast.start_time) - 1e-6
+
+    @given(traces())
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic(self, arr):
+        a, _ = run_core(arr)
+        b, _ = run_core(arr)
+        assert a.finish_time == b.finish_time
+        assert a.comp == b.comp

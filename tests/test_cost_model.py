@@ -1,0 +1,63 @@
+"""Unit tests for the capacity/cost model (paper Section IV-E)."""
+
+import pytest
+
+from repro.area.cost import (
+    DIMM_COST, MemoryConfig, TWO_DPC_BW_PENALTY, cheapest_config,
+    iso_capacity_comparison,
+)
+
+
+class TestMemoryConfig:
+    def test_cost_curve_superlinear(self):
+        """Paper: 128/256 GB DIMMs cost ~5x/20x a 64 GB DIMM."""
+        assert DIMM_COST[128] / DIMM_COST[64] == pytest.approx(5.0)
+        assert DIMM_COST[256] / DIMM_COST[64] == pytest.approx(20.0)
+        per_gb = [DIMM_COST[g] / g for g in sorted(DIMM_COST)]
+        assert per_gb[-1] > per_gb[0]  # $/GB grows with density
+
+    def test_unknown_density_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryConfig("x", 12, 48)
+
+    def test_dpc_bounds(self):
+        with pytest.raises(ValueError):
+            MemoryConfig("x", 12, 64, dimms_per_channel=3)
+
+    def test_capacity_arithmetic(self):
+        cfg = MemoryConfig("x", 12, 64, 2)
+        assert cfg.capacity_gb == 12 * 2 * 64
+
+    def test_2dpc_bandwidth_penalty(self):
+        one = MemoryConfig("a", 12, 64, 1)
+        two = MemoryConfig("b", 12, 64, 2)
+        assert two.relative_bandwidth == pytest.approx(
+            one.relative_bandwidth * (1 - TWO_DPC_BW_PENALTY))
+
+
+class TestCheapestConfig:
+    def test_reaches_capacity(self):
+        cfg = cheapest_config("x", 12, 1536)
+        assert cfg.capacity_gb >= 1536
+
+    def test_unreachable_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            cheapest_config("x", 2, 100000)
+
+    def test_prefers_low_density_when_channels_abound(self):
+        few = cheapest_config("ddr", 12, 3072)
+        many = cheapest_config("cxl", 48, 3072)
+        assert many.dimm_gb < few.dimm_gb
+        assert many.relative_cost < few.relative_cost
+
+
+class TestIsoCapacity:
+    def test_paper_shape(self):
+        """Same capacity: COAXIAL is cheaper per GB with more bandwidth."""
+        rows = {r["system"]: r for r in iso_capacity_comparison(3072)}
+        base, coax = rows["DDR-based"], rows["COAXIAL"]
+        assert base["capacity_gb"] >= 3072
+        assert coax["capacity_gb"] >= 3072
+        assert coax["relative_cost"] < base["relative_cost"]
+        assert coax["cost_per_gb"] < base["cost_per_gb"]
+        assert coax["relative_bw"] > base["relative_bw"]

@@ -1,0 +1,87 @@
+"""Unit tests for the trace container."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.trace import Trace, TRACE_DTYPE, concat_traces, make_trace
+
+
+def simple_trace(n=10, gap=3, write_every=None, dep=None):
+    arr = np.zeros(n, dtype=TRACE_DTYPE)
+    arr["gap"] = gap
+    arr["addr"] = np.arange(n, dtype=np.uint64) * 64
+    if write_every:
+        arr["is_write"][::write_every] = 1
+    if dep is not None:
+        arr["dep"] = dep
+    return Trace(arr)
+
+
+class TestTrace:
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(np.zeros(4, dtype=np.int64))
+
+    def test_counts(self):
+        t = simple_trace(n=10, gap=3)
+        assert t.n_ops == 10
+        assert t.n_instrs == 10 * 4  # 3 gap + 1 mem op each
+
+    def test_negative_dep_rejected(self):
+        arr = np.zeros(4, dtype=TRACE_DTYPE)
+        arr["dep"][2] = -1
+        with pytest.raises(ValueError):
+            Trace(arr)
+
+    def test_dep_past_start_rejected(self):
+        arr = np.zeros(4, dtype=TRACE_DTYPE)
+        arr["dep"][1] = 2
+        with pytest.raises(ValueError):
+            Trace(arr)
+
+    def test_dep_on_store_rejected(self):
+        arr = np.zeros(4, dtype=TRACE_DTYPE)
+        arr["is_write"][0] = 1
+        arr["dep"][1] = 1
+        with pytest.raises(ValueError):
+            Trace(arr)
+
+    def test_valid_dep_chain(self):
+        arr = np.zeros(4, dtype=TRACE_DTYPE)
+        arr["dep"][1:] = 1
+        t = Trace(arr)
+        assert t.n_ops == 4
+
+    def test_write_fraction(self):
+        t = simple_trace(n=10, write_every=2)
+        assert t.write_fraction == pytest.approx(0.5)
+
+    def test_slice_cuts_cross_boundary_deps(self):
+        arr = np.zeros(6, dtype=TRACE_DTYPE)
+        arr["dep"][3] = 2  # op 3 depends on op 1
+        t = Trace(arr)
+        sub = t.slice(2, 6)
+        assert sub.arr["dep"][1] == 0  # the cross-boundary edge was cut
+
+    def test_split_partitions_ops(self):
+        t = simple_trace(n=10)
+        warm, meas = t.split(4)
+        assert warm.n_ops == 4
+        assert meas.n_ops == 6
+
+    def test_split_bounds(self):
+        with pytest.raises(ValueError):
+            simple_trace(n=4).split(5)
+
+    def test_concat(self):
+        t = concat_traces([simple_trace(3), simple_trace(5)])
+        assert t.n_ops == 8
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concat_traces([])
+
+    def test_make_trace(self):
+        t = make_trace([1, 2], [64, 128], [0, 1], [7, 7], [0, 0])
+        assert t.n_ops == 2
+        assert t.arr["addr"][1] == 128

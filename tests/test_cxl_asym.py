@@ -1,0 +1,76 @@
+"""Tests for the asymmetric CXL channel and its two-DDR-channel device
+(paper Section IV-D)."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.cxl import CxlChannel, X8_CXL, X8_CXL_ASYM
+from repro.request import MemRequest, READ, WRITE
+
+
+class TestAsymProvisioning:
+    def test_pin_budget_preserved(self):
+        """20 RX + 12 TX lanes re-use the symmetric design's 32 pins."""
+        assert X8_CXL_ASYM.pins == X8_CXL.pins == 32
+
+    def test_goodput_split(self):
+        assert X8_CXL_ASYM.rx_goodput_gbps == 32.0
+        assert X8_CXL_ASYM.tx_goodput_gbps == 10.0
+
+    def test_read_response_2ns(self):
+        """Paper: a 64 B line is received in 2 ns on a 10-bit CXL-asym."""
+        assert X8_CXL_ASYM.read_response_ser_ns() == pytest.approx(2.0)
+
+
+class TestAsymChannel:
+    def _channel(self):
+        sim = Simulator()
+        chan = CxlChannel(sim, "asym", X8_CXL_ASYM, n_ddr_channels=2,
+                          system_channels=8)
+        return sim, chan
+
+    def test_two_ddr_channels_behind_one_link(self):
+        _, chan = self._channel()
+        assert len(chan.device.channels) == 2
+        assert chan.peak_bandwidth_gbps == pytest.approx(2 * 38.4)
+
+    def test_global_interleave_reaches_both_channels(self):
+        """With an 8-channel system interleave, a port owning global
+        channels {0,1} must split its lines across both local DDRs."""
+        sim, chan = self._channel()
+        # This port serves lines with g = line % 8 in {0, 1}.
+        for i in range(32):
+            line = i * 8  # g == 0 -> local channel 0
+            chan.submit(MemRequest(line * 64, READ, callback=lambda r: None))
+            line = i * 8 + 1  # g == 1 -> local channel 1
+            chan.submit(MemRequest(line * 64, READ, callback=lambda r: None))
+        sim.run()
+        counts = [c.stats.get("num_rd", 0) for c in chan.device.channels]
+        assert counts[0] == 32 and counts[1] == 32
+
+    def test_write_serialization_slower_than_symmetric(self):
+        """10 GB/s TX: writes serialize slower than on the 13 GB/s link."""
+        sim = Simulator()
+        sym = CxlChannel(sim, "sym", X8_CXL)
+        asym = CxlChannel(sim, "asym", X8_CXL_ASYM)
+        w1 = MemRequest(0x40, WRITE)
+        w2 = MemRequest(0x40, WRITE)
+        sym.submit(w1)
+        asym.submit(w2)
+        sim.run()
+        assert w2.cxl_delay > w1.cxl_delay
+
+    def test_read_latency_faster_than_symmetric(self):
+        def unloaded_read(params):
+            sim = Simulator()
+            chan = CxlChannel(sim, "c", params)
+            done = []
+            req = MemRequest(0x1000, READ, callback=lambda r: done.append(sim.now))
+            chan.submit(req)
+            sim.run()
+            return done[0], req.cxl_delay
+
+        t_sym, d_sym = unloaded_read(X8_CXL)
+        t_asym, d_asym = unloaded_read(X8_CXL_ASYM)
+        assert d_asym < d_sym
+        assert t_asym < t_sym

@@ -1,0 +1,100 @@
+"""Integration-ish tests for a CXL channel with a Type-3 device behind it."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.cxl import CxlChannel, CxlType3Device, X8_CXL, X8_CXL_ASYM
+from repro.request import MemRequest, READ, WRITE
+
+
+def read_through(channel_kwargs=None, n=1, addr_stride=64 * 977):
+    sim = Simulator()
+    chan = CxlChannel(sim, "cxl0", **(channel_kwargs or {}))
+    done = []
+
+    def cb(req):
+        done.append((sim.now, req))
+
+    for i in range(n):
+        req = MemRequest(i * addr_stride, READ, callback=cb)
+        req.t_create = 0.0
+        sim.schedule_at(0.0, chan.submit, req)
+    sim.run()
+    return sim, chan, done
+
+
+class TestCxlChannel:
+    def test_read_completes(self):
+        _, _, done = read_through()
+        assert len(done) == 1
+
+    def test_unloaded_read_latency_includes_premium(self):
+        """CXL read ~ DRAM (37 ns) + >= 52.5 ns interface premium."""
+        _, _, done = read_through()
+        t, req = done[0]
+        assert 80.0 < t < 120.0
+        assert req.cxl_delay == pytest.approx(53.0, abs=2.0)
+
+    def test_dram_timestamps_behind_cxl(self):
+        _, _, done = read_through()
+        _, req = done[0]
+        assert req.t_mc_enqueue > 10.0   # after TX traversal
+        assert req.t_dram_done > req.t_mc_enqueue
+
+    def test_write_is_posted_and_reaches_dram(self):
+        sim = Simulator()
+        chan = CxlChannel(sim, "cxl0")
+        for i in range(10):
+            chan.submit(MemRequest(i * 64 * 131, WRITE))
+        sim.run()
+        total_wr = sum(c.stats.get("num_wr", 0) for c in chan.device.channels)
+        assert total_wr == 10
+        assert chan.stats["tx_bytes"] == 10 * 72
+
+    def test_tx_link_congestion_adds_delay(self):
+        """Many simultaneous writes must serialize on the 13 GB/s TX link."""
+        sim = Simulator()
+        chan = CxlChannel(sim, "cxl0")
+        reqs = [MemRequest(i * 64 * 131, WRITE) for i in range(50)]
+        for r in reqs:
+            chan.submit(r)
+        sim.run()
+        delays = [r.cxl_delay for r in reqs]
+        assert max(delays) > min(delays) + 10.0  # queue built up
+
+    def test_asym_faster_reads_slower_writes(self):
+        _, _, d_sym = read_through({"params": X8_CXL})
+        _, _, d_asym = read_through({"params": X8_CXL_ASYM})
+        assert d_asym[0][1].cxl_delay < d_sym[0][1].cxl_delay
+
+    def test_two_ddr_channels_split_traffic(self):
+        sim = Simulator()
+        chan = CxlChannel(sim, "cxl0", n_ddr_channels=2, system_channels=2)
+        for i in range(40):
+            chan.submit(MemRequest(i * 64, READ, callback=lambda r: None))
+        sim.run()
+        counts = [c.stats.get("num_rd", 0) for c in chan.device.channels]
+        assert counts[0] > 0 and counts[1] > 0
+        assert sum(counts) == 40
+
+    def test_peak_bandwidth_reflects_device(self):
+        sim = Simulator()
+        one = CxlChannel(sim, "a", n_ddr_channels=1)
+        two = CxlChannel(sim, "b", n_ddr_channels=2, system_channels=2)
+        assert two.peak_bandwidth_gbps == pytest.approx(2 * one.peak_bandwidth_gbps)
+
+
+class TestCxlType3Device:
+    def test_needs_a_channel(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            CxlType3Device(sim, "dev", n_ddr_channels=0)
+
+    def test_response_fallback_to_callback(self):
+        sim = Simulator()
+        dev = CxlType3Device(sim, "dev")
+        done = []
+        req = MemRequest(0x1000, READ, callback=lambda r: done.append(r))
+        dev.submit(req)
+        sim.run()
+        assert done == [req]

@@ -1,0 +1,68 @@
+"""Unit tests for CXL link parameters and the serial link model."""
+
+import pytest
+
+from repro.cxl.link import CxlLinkParams, SerialLink, X8_CXL, X8_CXL_ASYM, OMI_LIKE
+
+
+class TestCxlLinkParams:
+    def test_x8_pin_count(self):
+        # 8 lanes each way, 2 pins per lane per direction = 32 pins.
+        assert X8_CXL.pins == 32
+
+    def test_x8_goodputs_match_paper(self):
+        assert X8_CXL.rx_goodput_gbps == 26.0
+        assert X8_CXL.tx_goodput_gbps == 13.0
+
+    def test_read_response_serialization(self):
+        # 64B at 26 GB/s ~ 2.5 ns (paper Section V).
+        assert X8_CXL.read_response_ser_ns() == pytest.approx(2.46, abs=0.1)
+
+    def test_write_serialization(self):
+        # 64B + header at 13 GB/s ~ 5.5 ns (paper Section V).
+        assert X8_CXL.write_ser_ns() == pytest.approx(5.5, abs=0.1)
+
+    def test_min_read_latency_near_paper(self):
+        # Paper: >= 4 x 12.5 + 2.5 = 52.5 ns.
+        assert X8_CXL.min_read_latency_ns() == pytest.approx(53.1, abs=1.0)
+
+    def test_asym_trades_tx_for_rx(self):
+        assert X8_CXL_ASYM.rx_goodput_gbps > X8_CXL.rx_goodput_gbps
+        assert X8_CXL_ASYM.tx_goodput_gbps < X8_CXL.tx_goodput_gbps
+        assert X8_CXL_ASYM.pins == X8_CXL.pins  # same pin budget
+
+    def test_omi_like_low_latency(self):
+        assert OMI_LIKE.min_read_latency_ns() < 15.0
+
+
+class TestSerialLink:
+    def test_rejects_nonpositive_goodput(self):
+        with pytest.raises(ValueError):
+            SerialLink(0.0)
+
+    def test_transfer_time(self):
+        link = SerialLink(26.0)
+        end = link.transfer(100.0, 64)
+        assert end == pytest.approx(100.0 + 64 / 26.0)
+
+    def test_back_to_back_serializes(self):
+        link = SerialLink(13.0)
+        e1 = link.transfer(0.0, 64)
+        e2 = link.transfer(0.0, 64)
+        assert e2 == pytest.approx(2 * 64 / 13.0)
+
+    def test_idle_gap_no_queuing(self):
+        link = SerialLink(13.0)
+        link.transfer(0.0, 64)
+        e2 = link.transfer(100.0, 64)
+        assert e2 == pytest.approx(100.0 + 64 / 13.0)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            SerialLink(13.0).transfer(0.0, -1)
+
+    def test_utilization_accounting(self):
+        link = SerialLink(10.0)
+        link.transfer(0.0, 640)  # 64 ns busy
+        assert link.utilization(128.0) == pytest.approx(0.5)
+        assert link.utilization(0.0) == 0.0

@@ -1,0 +1,83 @@
+"""Unit tests for bank/rank timing state machines."""
+
+import pytest
+
+from repro.dram.bank import Bank, Rank
+from repro.dram.timing import DDR5_4800 as TM
+
+
+class TestBank:
+    def test_starts_closed(self):
+        b = Bank()
+        assert b.open_row is None
+        assert not b.is_row_hit(0)
+
+    def test_activate_opens_row(self):
+        b = Bank()
+        b.activate(100.0, 7, TM)
+        assert b.is_row_hit(7)
+        assert not b.is_row_hit(8)
+
+    def test_activate_sets_trcd_window(self):
+        b = Bank()
+        b.activate(100.0, 7, TM)
+        assert b.next_rd == pytest.approx(100.0 + TM.tRCD)
+        assert b.next_wr == pytest.approx(100.0 + TM.tRCD)
+
+    def test_tras_gates_precharge(self):
+        b = Bank()
+        b.activate(100.0, 7, TM)
+        assert b.next_pre >= 100.0 + TM.tRAS
+
+    def test_precharge_closes_row(self):
+        b = Bank()
+        b.activate(100.0, 7, TM)
+        b.precharge(150.0, TM)
+        assert b.open_row is None
+        assert b.next_act >= 150.0 + TM.tRP
+
+    def test_read_pushes_rtp(self):
+        b = Bank()
+        b.activate(100.0, 7, TM)
+        b.read(120.0, TM)
+        assert b.next_pre >= 120.0 + TM.tRTP
+
+    def test_write_recovery_gates_precharge(self):
+        b = Bank()
+        b.activate(100.0, 7, TM)
+        b.write(120.0, TM)
+        assert b.next_pre >= 120.0 + TM.tCWL + TM.tBURST + TM.tWR
+
+
+class TestRank:
+    def test_tfaw_limits_activates(self):
+        r = Rank(TM, 32)
+        # Four back-to-back ACTs; the fifth must wait for the window.
+        t = 0.0
+        for _ in range(4):
+            t = r.earliest_act(t)
+            r.record_act(t)
+        fifth = r.earliest_act(t)
+        assert fifth >= r.act_history[0] + TM.tFAW
+
+    def test_trrd_spaces_activates(self):
+        r = Rank(TM, 32)
+        r.record_act(100.0)
+        assert r.earliest_act(100.0) >= 100.0 + TM.tRRD_S
+
+    def test_refresh_blackout_blocks_commands(self):
+        r = Rank(TM, 32)
+        # A command landing inside the first refresh window gets pushed out.
+        t = r.refresh_blackout(TM.tREFI + 1.0)
+        assert t >= TM.tREFI + TM.tRFC
+        assert r.refreshes_done >= 1
+
+    def test_refresh_period_advances(self):
+        r = Rank(TM, 32)
+        r.refresh_blackout(10 * TM.tREFI + 1.0)
+        assert r.refreshes_done >= 10
+
+    def test_command_before_refresh_unaffected(self):
+        r = Rank(TM, 32)
+        assert r.refresh_blackout(100.0) == 100.0
+        assert r.refreshes_done == 0

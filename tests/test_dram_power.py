@@ -1,0 +1,53 @@
+"""Tests for DRAM energy accounting."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.dram.controller import DDRChannel
+from repro.dram.power import DramPowerParams, channel_energy_nj, average_power_w
+from repro.request import MemRequest, READ, WRITE
+
+
+def _loaded_channel(n_reads=50, n_writes=10):
+    sim = Simulator()
+    chan = DDRChannel(sim, "c")
+    for i in range(n_reads):
+        chan.enqueue(MemRequest(i * 64 * 131, READ, callback=lambda r: None))
+    for i in range(n_writes):
+        chan.enqueue(MemRequest(i * 64 * 757 + (1 << 20), WRITE))
+    sim.run()
+    return sim, chan
+
+
+class TestDramPower:
+    def test_energy_positive_after_traffic(self):
+        sim, chan = _loaded_channel()
+        e = channel_energy_nj(chan, sim.now)
+        assert e > 0.0
+
+    def test_more_traffic_more_energy(self):
+        sim1, c1 = _loaded_channel(20, 0)
+        sim2, c2 = _loaded_channel(200, 0)
+        t = max(sim1.now, sim2.now)
+        assert channel_energy_nj(c2, t) > channel_energy_nj(c1, t)
+
+    def test_background_power_accrues_with_time(self):
+        sim, chan = _loaded_channel(10, 0)
+        e1 = channel_energy_nj(chan, 1000.0)
+        e2 = channel_energy_nj(chan, 100000.0)
+        assert e2 > e1
+
+    def test_negative_time_rejected(self):
+        _, chan = _loaded_channel(1, 0)
+        with pytest.raises(ValueError):
+            channel_energy_nj(chan, -1.0)
+
+    def test_average_power_reasonable_for_dimm(self):
+        sim, chan = _loaded_channel(500, 100)
+        p = average_power_w([chan], sim.now)
+        # A busy DDR5 RDIMM draws a handful of watts.
+        assert 0.5 < p < 50.0
+
+    def test_zero_elapsed_returns_zero_power(self):
+        _, chan = _loaded_channel(1, 0)
+        assert average_power_w([chan], 0.0) == 0.0

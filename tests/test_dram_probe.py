@@ -1,0 +1,53 @@
+"""Tests for the open-loop load-latency probe (Figure 2a's instrument)."""
+
+import pytest
+
+from repro.dram.probe import LoadLatencyProbe, load_latency_curve
+
+
+class TestLoadLatencyProbe:
+    def test_rejects_bad_utilization(self):
+        p = LoadLatencyProbe()
+        with pytest.raises(ValueError):
+            p.measure(0.0)
+        with pytest.raises(ValueError):
+            p.measure(1.0)
+
+    def test_rejects_bad_write_fraction(self):
+        with pytest.raises(ValueError):
+            LoadLatencyProbe(write_fraction=1.0)
+
+    def test_low_load_latency_near_unloaded(self):
+        p = LoadLatencyProbe()
+        pt = p.measure(0.05, n_requests=400, warmup=100)
+        assert 30.0 < pt.mean_latency < 80.0
+        assert pt.n_requests == 400
+
+    def test_achieved_tracks_target_at_low_load(self):
+        p = LoadLatencyProbe()
+        pt = p.measure(0.2, n_requests=600, warmup=100)
+        assert pt.achieved_utilization == pytest.approx(0.2, abs=0.05)
+
+    def test_latency_grows_with_load(self):
+        p = LoadLatencyProbe()
+        low = p.measure(0.1, n_requests=500, warmup=100)
+        high = p.measure(0.6, n_requests=500, warmup=100)
+        assert high.mean_latency > low.mean_latency * 1.5
+
+    def test_p90_grows_faster_than_mean(self):
+        """The paper's Fig 2a headline: tails blow up before the mean."""
+        p = LoadLatencyProbe(seed=3)
+        low = p.measure(0.1, n_requests=800, warmup=100)
+        high = p.measure(0.6, n_requests=800, warmup=100)
+        mean_ratio = high.mean_latency / low.mean_latency
+        p90_ratio = high.p90_latency / low.p90_latency
+        assert p90_ratio > mean_ratio
+
+    def test_percentiles_ordered(self):
+        pt = LoadLatencyProbe().measure(0.4, n_requests=500, warmup=50)
+        assert pt.p50_latency <= pt.p90_latency <= pt.p99_latency
+
+    def test_curve_sweep_returns_all_points(self):
+        pts = load_latency_curve([0.1, 0.3], n_requests=300)
+        assert len(pts) == 2
+        assert pts[0].target_utilization == 0.1

@@ -1,0 +1,37 @@
+"""Unit tests for DDR5 timing parameters."""
+
+import pytest
+
+from repro.dram.timing import DDR5Timing, DDR5_4800
+
+
+class TestDDR5Timing:
+    def test_clock_period(self):
+        assert DDR5_4800.tCK == pytest.approx(2000.0 / 4800.0)
+
+    def test_burst_moves_one_line(self):
+        assert DDR5_4800.bytes_per_access == 64
+
+    def test_burst_time(self):
+        # BL16 on a 32-bit bus: 8 DRAM clocks.
+        assert DDR5_4800.tBURST == pytest.approx(8 * DDR5_4800.tCK)
+
+    def test_peak_bandwidth_per_subchannel(self):
+        # 4800 MT/s x 4 bytes = 19.2 GB/s.
+        assert DDR5_4800.peak_bandwidth_gbps == pytest.approx(19.2)
+
+    def test_total_banks(self):
+        assert DDR5_4800.banks == 32
+
+    def test_unloaded_read_latency(self):
+        # CAS + burst ~ 20 ns.
+        assert 15.0 < DDR5_4800.read_latency() < 25.0
+
+    def test_row_miss_penalty(self):
+        assert DDR5_4800.row_miss_penalty() == pytest.approx(
+            DDR5_4800.tRP + DDR5_4800.tRCD)
+
+    def test_custom_speed_bin(self):
+        t = DDR5Timing(data_rate_mts=6400.0)
+        assert t.peak_bandwidth_gbps == pytest.approx(25.6)
+        assert t.tCK < DDR5_4800.tCK

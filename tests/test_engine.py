@@ -1,0 +1,147 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.engine import Event, EventQueue, Simulator, Component
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        fired = []
+        q.push(5.0, fired.append, "late")
+        q.push(1.0, fired.append, "early")
+        while True:
+            ev = q.pop()
+            if ev is None:
+                break
+            ev.fn(*ev.args)
+        assert fired == ["early", "late"]
+
+    def test_fifo_among_equal_times(self):
+        q = EventQueue()
+        order = []
+        for i in range(10):
+            q.push(3.0, order.append, i)
+        while q.pop() is not None:
+            pass
+        # pop() returned them; re-test with explicit drain capturing order
+        q2 = EventQueue()
+        for i in range(10):
+            q2.push(3.0, order.append, i)
+        out = []
+        while True:
+            ev = q2.pop()
+            if ev is None:
+                break
+            out.append(ev.args[0])
+        assert out == list(range(10))
+
+    def test_cancelled_events_skipped(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        ev.cancel()
+        first = q.pop()
+        assert first is not None and first.time == 2.0
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.push(4.0, lambda: None)
+        ev.cancel()
+        assert q.peek_time() == 4.0
+
+    def test_len_counts_live_events(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert len(q) == 2
+        ev.cancel()
+        assert len(q) == 1
+
+    def test_bool_empty(self):
+        q = EventQueue()
+        assert not q
+        q.push(1.0, lambda: None)
+        assert q
+
+
+class TestSimulator:
+    def test_run_executes_in_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "b")
+        sim.schedule(1.0, fired.append, "a")
+        sim.run()
+        assert fired == ["a", "b"]
+        assert sim.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(10.0, fired.append, 2)
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+    def test_max_events_bounds_run(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(float(i), lambda: None)
+        sim.run(max_events=4)
+        assert sim.events_fired == 4
+        assert sim.pending() == 6
+
+    def test_same_time_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(7.0, fired.append, i)
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+
+class TestComponent:
+    def test_bump_accumulates(self):
+        sim = Simulator()
+        c = Component(sim, "c")
+        c.bump("x")
+        c.bump("x", 2.5)
+        assert c.stats["x"] == 3.5
+
+    def test_reset_zeroes_keys(self):
+        sim = Simulator()
+        c = Component(sim, "c")
+        c.bump("x", 5)
+        c.reset_stats()
+        assert c.stats["x"] == 0.0

@@ -1,0 +1,37 @@
+"""Tests for CSV result export (artifact collect_stats parity)."""
+
+import pytest
+
+from repro.analysis.export import FIELDS, export_results, load_results_csv, result_row
+from repro.system.config import baseline_config
+from repro.system.sim import simulate
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def one_result():
+    return simulate(baseline_config(), get_workload("mcf"), ops_per_core=400)
+
+
+class TestExport:
+    def test_row_matches_fields(self, one_result):
+        assert len(result_row(one_result)) == len(FIELDS)
+
+    def test_roundtrip(self, tmp_path, one_result):
+        path = export_results([one_result], tmp_path / "stats.csv")
+        rows = load_results_csv(path)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["config"] == "ddr-baseline"
+        assert row["workload"] == "mcf"
+        assert row["ipc"] == pytest.approx(one_result.ipc)
+        assert row["llc_mpki"] == pytest.approx(one_result.llc_mpki)
+
+    def test_multiple_rows(self, tmp_path, one_result):
+        path = export_results([one_result, one_result], tmp_path / "s.csv")
+        assert len(load_results_csv(path)) == 2
+
+    def test_header_written(self, tmp_path, one_result):
+        path = export_results([one_result], tmp_path / "h.csv")
+        first = path.read_text().splitlines()[0]
+        assert first.split(",")[0] == "config"

@@ -1,0 +1,58 @@
+"""Unit tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.analysis.figures import bar_chart, series, stacked_bars
+
+
+class TestBarChart:
+    def test_renders_all_labels(self):
+        out = bar_chart({"a": 1.0, "bb": 2.0}, width=10)
+        assert "a" in out and "bb" in out
+        assert "1.00" in out and "2.00" in out
+
+    def test_longest_bar_fills_width(self):
+        out = bar_chart({"x": 4.0}, width=8)
+        assert "#" * 8 in out
+
+    def test_reference_marker(self):
+        out = bar_chart({"a": 2.0, "b": 0.5}, width=20, reference=1.0)
+        assert "|" in out or "+" in out
+
+    def test_title_and_unit(self):
+        out = bar_chart({"a": 1.5}, title="speedups", unit="x")
+        assert out.splitlines()[0] == "speedups"
+        assert "1.50x" in out
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart({})
+
+
+class TestStackedBars:
+    def test_legend_and_rows(self):
+        out = stacked_bars({"w": [1.0, 2.0]}, ["queue", "dram"], width=12)
+        assert "#=queue" in out and "==dram" in out.replace("= ", "=")
+        assert "3.0" in out
+
+    def test_mismatched_parts_rejected(self):
+        with pytest.raises(ValueError):
+            stacked_bars({"w": [1.0]}, ["a", "b"])
+
+
+class TestSeries:
+    def test_plots_extremes(self):
+        out = series([(0, 0), (1, 10), (2, 5)], width=20, height=6)
+        assert "*" in out
+        assert "10.0" in out and "0.0" in out
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            series([(0, 0)])
+
+    def test_labels(self):
+        out = series([(0, 0), (1, 1)], xlabel="load", ylabel="latency")
+        assert "x: load" in out and "y: latency" in out

@@ -1,0 +1,91 @@
+"""Golden regression tests: pin the reproduction's headline numbers.
+
+These guard the calibration: if a model change moves the key results out
+of the recorded bands (generous enough to absorb seed-level noise but
+tight enough to catch regressions), these tests fail before the full
+bench suite would.
+
+Full-suite reference (36+1 workloads, 3000 ops/core): geomean speedup
+1.42x, 8 losers, queuing ~5x lower on COAXIAL. The subset pins below use
+shorter runs.
+"""
+
+import pytest
+
+from repro.analysis import geomean
+from repro.system.config import baseline_config, coaxial_config
+from repro.system.sim import simulate
+from repro.workloads import get_workload
+
+OPS = 2000
+
+
+@pytest.fixture(scope="module")
+def headline():
+    workloads = ["stream-copy", "lbm", "PageRank", "gcc", "raytrace", "mcf"]
+    out = {}
+    for w in workloads:
+        wl = get_workload(w)
+        base = simulate(baseline_config(), wl, ops_per_core=OPS)
+        coax = simulate(coaxial_config(), wl, ops_per_core=OPS)
+        out[w] = (base, coax)
+    return out
+
+
+class TestGoldenSpeedups:
+    def test_stream_copy_band(self, headline):
+        base, coax = headline["stream-copy"]
+        assert 2.0 < coax.speedup_over(base) < 5.5
+
+    def test_lbm_band(self, headline):
+        base, coax = headline["lbm"]
+        assert 2.0 < coax.speedup_over(base) < 5.5
+
+    def test_pagerank_band(self, headline):
+        base, coax = headline["PageRank"]
+        assert 1.2 < coax.speedup_over(base) < 2.5
+
+    def test_gcc_loses(self, headline):
+        base, coax = headline["gcc"]
+        assert 0.7 < coax.speedup_over(base) < 1.05
+
+    def test_raytrace_loses(self, headline):
+        base, coax = headline["raytrace"]
+        assert 0.7 < coax.speedup_over(base) < 1.05
+
+    def test_subset_geomean_band(self, headline):
+        gm = geomean([c.speedup_over(b) for b, c in headline.values()])
+        assert 1.2 < gm < 2.2
+
+
+class TestGoldenLatencies:
+    def test_baseline_stream_queuing_dominates(self, headline):
+        base, _ = headline["stream-copy"]
+        assert base.avg_queuing > 0.6 * base.avg_miss_latency
+
+    def test_coaxial_queuing_collapses(self, headline):
+        base, coax = headline["stream-copy"]
+        assert coax.avg_queuing < base.avg_queuing / 3
+
+    def test_cxl_premium_band(self, headline):
+        for w, (_, coax) in headline.items():
+            assert 40.0 < coax.avg_cxl < 75.0, w
+
+    def test_baseline_dram_service_band(self, headline):
+        """DRAM array time ~40 ns (paper), well clear of queuing."""
+        for w, (base, _) in headline.items():
+            assert 20.0 < base.avg_dram < 60.0, w
+
+
+class TestGoldenCalibration:
+    def test_mpki_bands(self, headline):
+        targets = {"stream-copy": 58, "lbm": 64, "PageRank": 40,
+                   "gcc": 19, "raytrace": 5, "mcf": 13}
+        for w, (base, _) in headline.items():
+            ratio = base.llc_mpki / targets[w]
+            assert 0.5 < ratio < 2.0, f"{w}: {base.llc_mpki} vs {targets[w]}"
+
+    def test_utilization_ordering(self, headline):
+        """Streams load the channel far harder than LLC-friendly codes."""
+        assert (headline["stream-copy"][0].bandwidth_utilization
+                > headline["raytrace"][0].bandwidth_utilization)

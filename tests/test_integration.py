@@ -1,0 +1,112 @@
+"""Cross-module integration tests: whole-system behaviours the paper relies on."""
+
+import pytest
+
+from repro.system.config import (
+    baseline_config, coaxial_2x_config, coaxial_asym_config, coaxial_config,
+)
+from repro.system.sim import simulate
+from repro.workloads import get_workload
+
+
+OPS = 1200
+
+
+class TestBandwidthScaling:
+    def test_more_channels_more_achievable_bandwidth(self):
+        """A bandwidth-bound stream must move more data per ns on COAXIAL."""
+        wl = get_workload("stream-add")
+        base = simulate(baseline_config(), wl, ops_per_core=OPS)
+        coax = simulate(coaxial_config(), wl, ops_per_core=OPS)
+        assert coax.bandwidth_gbps > 1.5 * base.bandwidth_gbps
+
+    def test_2x_between_baseline_and_4x(self):
+        wl = get_workload("stream-copy")
+        base = simulate(baseline_config(), wl, ops_per_core=OPS)
+        two = simulate(coaxial_2x_config(), wl, ops_per_core=OPS)
+        four = simulate(coaxial_config(), wl, ops_per_core=OPS)
+        assert base.ipc < two.ipc < four.ipc * 1.05
+
+    def test_asym_beats_4x_on_read_heavy_workload(self):
+        wl = get_workload("PageRank")
+        four = simulate(coaxial_config(), wl, ops_per_core=OPS)
+        asym = simulate(coaxial_asym_config(), wl, ops_per_core=OPS)
+        assert asym.ipc > four.ipc * 0.97
+
+
+class TestLatencyAccounting:
+    def test_cxl_delay_only_on_cxl_systems(self):
+        wl = get_workload("lbm")
+        base = simulate(baseline_config(), wl, ops_per_core=OPS)
+        coax = simulate(coaxial_config(), wl, ops_per_core=OPS)
+        assert base.avg_cxl == 0.0
+        assert 40.0 < coax.avg_cxl < 120.0
+
+    def test_unloaded_cxl_premium_visible_at_low_core_count(self):
+        """With one active core, COAXIAL's miss latency exceeds baseline's
+        by roughly the CXL premium (the paper's Fig 11 single-core case)."""
+        wl = get_workload("raytrace")
+        base = simulate(baseline_config(active_cores=1), wl, ops_per_core=OPS)
+        coax = simulate(coaxial_config(active_cores=1), wl, ops_per_core=OPS)
+        delta = coax.avg_miss_latency - base.avg_miss_latency
+        assert 25.0 < delta < 90.0
+        assert coax.ipc < base.ipc
+
+    def test_llc_hit_rate_reported(self):
+        r = simulate(baseline_config(), get_workload("raytrace"), ops_per_core=OPS)
+        assert 0.0 <= r.llc_hit_rate <= 1.0
+
+
+class TestCalmIntegration:
+    def test_calm_reduces_onchip_time(self):
+        wl = get_workload("stream-copy")
+        serial = simulate(coaxial_config(calm_policy="never"), wl, ops_per_core=OPS)
+        calm = simulate(coaxial_config(calm_policy="calm_70"), wl, ops_per_core=OPS)
+        assert calm.avg_onchip < serial.avg_onchip
+
+    def test_calm_fraction_high_for_llc_missing_workload(self):
+        r = simulate(coaxial_config(calm_policy="calm_70"),
+                     get_workload("stream-copy"), ops_per_core=OPS)
+        # Stores never go CALM, so the ceiling is the load fraction (~0.5).
+        assert r.calm_fraction > 0.4
+
+    def test_calm_statistics_consistent(self):
+        r = simulate(coaxial_config(calm_policy="calm_70"),
+                     get_workload("PageRank"), ops_per_core=OPS)
+        assert 0.0 <= r.calm_false_pos_rate <= 1.0
+        assert 0.0 <= r.calm_false_neg_rate <= 1.0
+
+    def test_ideal_predictor_runs_end_to_end(self):
+        r = simulate(coaxial_config(calm_policy="ideal"),
+                     get_workload("kmeans"), ops_per_core=OPS)
+        assert r.ipc > 0
+        # Oracle never wastes bandwidth.
+        assert r.calm_false_pos_rate == 0.0
+
+    def test_mapi_predictor_runs_end_to_end(self):
+        r = simulate(coaxial_config(calm_policy="mapi"),
+                     get_workload("kmeans"), ops_per_core=OPS)
+        assert r.ipc > 0
+
+
+class TestWriteTraffic:
+    def test_write_heavy_workload_generates_dram_writes(self):
+        r = simulate(baseline_config(), get_workload("cam4"), ops_per_core=OPS)
+        assert r.write_bandwidth_gbps > 0.0
+        assert r.read_bandwidth_gbps > r.write_bandwidth_gbps
+
+    def test_asym_write_bandwidth_still_sufficient(self):
+        """cam4 (the paper's most write-heavy workload) must not collapse
+        on CXL-asym's reduced write goodput (paper Section VI-C)."""
+        wl = get_workload("cam4")
+        four = simulate(coaxial_config(), wl, ops_per_core=OPS)
+        asym = simulate(coaxial_asym_config(), wl, ops_per_core=OPS)
+        assert asym.ipc > 0.9 * four.ipc
+
+
+class TestScaleKnob:
+    def test_repro_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        wl = get_workload("mcf")
+        r = simulate(baseline_config(), wl)
+        assert r.instructions > 0

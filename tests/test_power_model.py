@@ -1,0 +1,75 @@
+"""Unit tests for the power/EDP models (Table V)."""
+
+import pytest
+
+from repro.power import (
+    edp, ed2p, perf_per_watt, system_power, energy_report,
+)
+
+
+class TestMetrics:
+    def test_edp_formula(self):
+        assert edp(100.0, 2.0) == pytest.approx(400.0)
+
+    def test_ed2p_formula(self):
+        assert ed2p(100.0, 2.0) == pytest.approx(800.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            edp(-1.0, 2.0)
+        with pytest.raises(ValueError):
+            ed2p(1.0, -2.0)
+
+    def test_perf_per_watt(self):
+        assert perf_per_watt(2.0, 100.0) == pytest.approx(0.02)
+        with pytest.raises(ValueError):
+            perf_per_watt(1.0, 0.0)
+
+
+class TestSystemPower:
+    def test_utilization_bounds(self):
+        with pytest.raises(ValueError):
+            system_power("x", 12, 0, 288, dimm_utilization=1.5)
+
+    def test_baseline_total_near_paper(self):
+        """Paper Table V: baseline ~646 W total."""
+        p = system_power("DDR-based", n_ddr_channels=12, n_cxl_lanes=0,
+                         llc_mb=288, dimm_utilization=0.54)
+        assert p.total_w == pytest.approx(646.0, rel=0.15)
+
+    def test_coaxial_total_near_paper(self):
+        """Paper Table V: COAXIAL ~931 W total."""
+        p = system_power("COAXIAL", n_ddr_channels=48, n_cxl_lanes=384,
+                         llc_mb=144, dimm_utilization=0.34)
+        assert p.total_w == pytest.approx(931.0, rel=0.15)
+
+    def test_coaxial_draws_more_power(self):
+        base = system_power("b", 12, 0, 288, 0.54)
+        coax = system_power("c", 48, 384, 144, 0.34)
+        assert coax.total_w > base.total_w
+
+    def test_llc_power_scales_with_capacity(self):
+        big = system_power("b", 12, 0, 288, 0.5)
+        small = system_power("s", 12, 0, 144, 0.5)
+        assert big.llc_w == pytest.approx(2 * small.llc_w)
+
+    def test_as_dict_sums(self):
+        p = system_power("x", 12, 0, 288, 0.5)
+        d = p.as_dict()
+        parts = sum(v for k, v in d.items() if k != "Total system power")
+        assert d["Total system power"] == pytest.approx(parts)
+
+
+class TestEnergyReport:
+    def test_paper_table5_ratios(self):
+        """COAXIAL's CPI advantage must flip EDP/ED^2P in its favour."""
+        base = energy_report(system_power("b", 12, 0, 288, 0.54), cpi=2.05)
+        coax = energy_report(system_power("c", 48, 384, 144, 0.34), cpi=1.48)
+        assert coax.edp / base.edp == pytest.approx(0.75, abs=0.12)
+        assert coax.ed2p / base.ed2p == pytest.approx(0.53, abs=0.12)
+
+    def test_perf_per_watt_close_to_parity(self):
+        base = energy_report(system_power("b", 12, 0, 288, 0.54), cpi=2.05)
+        coax = energy_report(system_power("c", 48, 384, 144, 0.34), cpi=1.48)
+        rel = coax.perf_per_watt / base.perf_per_watt
+        assert rel == pytest.approx(0.96, abs=0.15)

