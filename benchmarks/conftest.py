@@ -19,16 +19,7 @@ from typing import List
 import pytest
 
 from repro.workloads import workload_names
-
-#: Representative subset spanning every suite and behaviour class
-#: (bandwidth-bound streams, graph gathers, latency-bound pointer chasers,
-#: LLC-friendly PARSEC codes).
-REPRESENTATIVE: List[str] = [
-    "lbm", "bwaves", "cam4", "mcf", "gcc",
-    "PageRank", "Components", "BFS", "CF",
-    "stream-copy", "stream-add",
-    "masstree", "kmeans", "raytrace", "canneal",
-]
+from repro.workloads.catalog import REPRESENTATIVE
 
 
 def bench_workloads() -> List[str]:

@@ -27,7 +27,7 @@ from repro.dram import load_latency_curve
 from repro.power import energy_report, system_power
 from repro.system.config import ALL_CONFIGS
 from repro.system.sim import simulate
-from repro.workloads import SUITES, get_workload, workload_names
+from repro.workloads import REPRESENTATIVE, SUITES, get_workload, workload_names
 
 
 def _parse_list(text: str) -> List[str]:
@@ -92,6 +92,75 @@ def cmd_compare(args: argparse.Namespace) -> int:
     print(f"\ngeomean speedup: {geomean(speedups):.2f}x\n")
     print(bar_chart(chart, title="speedup vs baseline", unit="x", reference=1.0))
     return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Grid sweep across a process pool with the on-disk result cache."""
+    import time
+
+    from repro.exec.cache import ResultCache, disk_cache_enabled
+    from repro.exec.perf import bench_record, format_summary, write_bench
+    from repro.exec.runner import (
+        default_workers, expand_grid, print_progress, SweepRunner,
+    )
+
+    configs = _parse_list(args.configs)
+    for c in configs:
+        if c not in ALL_CONFIGS:
+            print(f"unknown config {c!r}; choose from {list(ALL_CONFIGS)}",
+                  file=sys.stderr)
+            return 2
+    if args.workloads.lower() == "all":
+        workloads = workload_names()
+    elif args.workloads.lower() == "representative":
+        workloads = list(REPRESENTATIVE)
+    else:
+        workloads = _parse_list(args.workloads)
+    seeds = [int(s) for s in _parse_list(args.seeds)]
+
+    cache = ResultCache(root=args.cache_dir,
+                        enabled=not args.no_cache and disk_cache_enabled())
+    if args.clear_cache:
+        n = cache.clear()
+        print(f"cleared {n} cached results under {cache.root}")
+
+    try:
+        workers = args.jobs or default_workers()
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    jobs = expand_grid(configs, workloads, ops=args.ops, seeds=seeds)
+    print(f"sweep: {len(configs)} config(s) x {len(workloads)} workload(s) x "
+          f"{len(seeds)} seed(s) = {len(jobs)} jobs on {workers} worker(s)")
+
+    runner = SweepRunner(workers=workers, cache=cache,
+                         job_timeout_s=args.timeout, retries=args.retries,
+                         progress=None if args.quiet else print_progress)
+    t0 = time.perf_counter()
+    results = runner.run(jobs)
+    total_wall = time.perf_counter() - t0
+
+    rows = [[r.job.config.name, r.job.workload, r.job.seed,
+             r.result.ipc if r.result else float("nan"),
+             r.result.avg_miss_latency if r.result else float("nan"),
+             r.result.bandwidth_gbps if r.result else float("nan"),
+             "cache" if r.cached else f"{r.wall_s:.1f}s"]
+            for r in results]
+    print(format_table(
+        ["config", "workload", "seed", "IPC", "misslat ns", "BW GB/s", "ran"],
+        rows))
+
+    record = bench_record(results, total_wall, workers, cache)
+    print()
+    for line in format_summary(record):
+        print(line)
+    out = write_bench(record, args.bench_out)
+    print(f"benchmark record written to {out}")
+
+    failed = [r for r in results if r.result is None]
+    for r in failed:
+        print(f"FAILED: {r.job.label()}: {r.error}", file=sys.stderr)
+    return 1 if failed else 0
 
 
 def cmd_curve(args: argparse.Namespace) -> int:
@@ -172,6 +241,33 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--ops", type=int, default=None)
     pc.add_argument("--seed", type=int, default=1)
     pc.set_defaults(fn=cmd_compare)
+
+    ps = sub.add_parser(
+        "sweep", help="parallel grid sweep with on-disk result caching")
+    ps.add_argument("--configs", default="ddr-baseline,coaxial-4x",
+                    help="comma list of config names")
+    ps.add_argument("--workloads", default="representative",
+                    help="comma list, or 'representative' / 'all'")
+    ps.add_argument("--ops", type=int, default=None,
+                    help="memory ops per core (default: workload default)")
+    ps.add_argument("--seeds", default="1", help="comma list of seeds")
+    ps.add_argument("--jobs", type=int, default=None,
+                    help="pool workers (default: REPRO_JOBS or CPU count)")
+    ps.add_argument("--timeout", type=float, default=None,
+                    help="per-job wait timeout in seconds")
+    ps.add_argument("--retries", type=int, default=1,
+                    help="extra attempts per failed/timed-out job")
+    ps.add_argument("--no-cache", action="store_true",
+                    help="skip the on-disk result cache")
+    ps.add_argument("--cache-dir", default=None,
+                    help="cache root (default: REPRO_CACHE_DIR or ~/.cache/repro)")
+    ps.add_argument("--clear-cache", action="store_true",
+                    help="drop cached results before running")
+    ps.add_argument("--bench-out", default="BENCH_sweep.json",
+                    help="where to write the benchmark record")
+    ps.add_argument("--quiet", action="store_true",
+                    help="suppress the per-job progress ticker")
+    ps.set_defaults(fn=cmd_sweep)
 
     pv = sub.add_parser("curve", help="DDR load-latency curve (Fig 2a)")
     pv.add_argument("--loads", default="0.1,0.3,0.5,0.6")

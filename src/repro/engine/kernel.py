@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Callable, Optional
 
 from repro.engine.event import Event, EventQueue
@@ -12,12 +13,17 @@ class Simulator:
 
     All components share one :class:`Simulator`. Time is float nanoseconds.
 
+    ``schedule``/``schedule_at`` are the hot path: they push plain
+    ``(time, seq, fn, args)`` tuples and return ``None``. Callers that need
+    to cancel a pending event use ``schedule_cancellable`` /
+    ``schedule_at_cancellable``, which return an :class:`Event` handle.
+
     Examples
     --------
     >>> sim = Simulator()
     >>> fired = []
-    >>> _ = sim.schedule(5.0, fired.append, "a")
-    >>> _ = sim.schedule(1.0, fired.append, "b")
+    >>> sim.schedule(5.0, fired.append, "a")
+    >>> sim.schedule(1.0, fired.append, "b")
     >>> sim.run()
     >>> fired
     ['b', 'a']
@@ -28,14 +34,36 @@ class Simulator:
         self.queue = EventQueue()
         self.events_fired: int = 0
 
-    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
         """Schedule ``fn(*args)`` to run ``delay`` ns from now (delay >= 0)."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        # Inlined EventQueue.push_fast: this is the hottest call in the
+        # simulator, worth saving the extra frame.
+        q = self.queue
+        heapq.heappush(q._heap, (self.now + delay, q._seq, fn, args))
+        q._seq += 1
+        q._live += 1
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at absolute time ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        q = self.queue
+        heapq.heappush(q._heap, (time, q._seq, fn, args))
+        q._seq += 1
+        q._live += 1
+
+    def schedule_cancellable(self, delay: float, fn: Callable[..., Any],
+                             *args: Any) -> Event:
+        """Like :meth:`schedule`, but returns a cancellable handle."""
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
         return self.queue.push(self.now + delay, fn, *args)
 
-    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
-        """Schedule ``fn(*args)`` at absolute time ``time`` (>= now)."""
+    def schedule_at_cancellable(self, time: float, fn: Callable[..., Any],
+                                *args: Any) -> Event:
+        """Like :meth:`schedule_at`, but returns a cancellable handle."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
         return self.queue.push(time, fn, *args)
@@ -50,22 +78,46 @@ class Simulator:
             is left at ``until`` (or the last event time if earlier).
         max_events:
             Safety valve: stop after this many events.
+
+        The loop pops heap tuples directly instead of going through
+        ``peek_time()`` + ``pop()``, which would scan past cancelled entries
+        twice per event.
         """
+        queue = self.queue
+        heap = queue._heap
+        cancelled = queue._cancelled
+        heappop = heapq.heappop
         fired = 0
-        while True:
-            t = self.queue.peek_time()
-            if t is None:
-                break
-            if until is not None and t > until:
-                self.now = until
-                break
-            ev = self.queue.pop()
-            assert ev is not None
-            self.now = ev.time
-            ev.fn(*ev.args)
-            fired += 1
-            if max_events is not None and fired >= max_events:
-                break
+        if max_events is None:
+            # Common case (every simulate() call): no event cap, so the
+            # loop body carries only the until check.
+            while heap:
+                if until is not None and heap[0][0] > until:
+                    self.now = until
+                    break
+                time, seq, fn, args = heappop(heap)
+                if cancelled and seq in cancelled:
+                    cancelled.discard(seq)
+                    continue
+                queue._live -= 1
+                self.now = time
+                fn(*args)
+                fired += 1
+        else:
+            while heap:
+                if until is not None and heap[0][0] > until:
+                    self.now = until
+                    break
+                time, seq, fn, args = heappop(heap)
+                if cancelled and seq in cancelled:
+                    cancelled.discard(seq)
+                    continue
+                queue._live -= 1
+                self.now = time
+                fn(*args)
+                fired += 1
+                if fired >= max_events:
+                    break
         self.events_fired += fired
 
     def pending(self) -> int:

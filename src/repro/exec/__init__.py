@@ -1,0 +1,17 @@
+"""Parallel sweep execution layer.
+
+- :mod:`repro.exec.cache`  — content-addressed on-disk result cache
+- :mod:`repro.exec.runner` — process-pool sweep runner
+- :mod:`repro.exec.perf`   — wall-time / events-per-second bench harness
+
+``analysis.tables`` delegates its memoization here, and the ``repro sweep``
+CLI subcommand exposes grid runs directly.
+"""
+
+from repro.exec.cache import ResultCache, job_key
+from repro.exec.runner import SweepJob, JobResult, SweepRunner, run_sweep
+
+__all__ = [
+    "ResultCache", "job_key",
+    "SweepJob", "JobResult", "SweepRunner", "run_sweep",
+]

@@ -1,0 +1,116 @@
+"""Sweep performance harness: wall-time and events-per-second tracking.
+
+Turns a list of :class:`~repro.exec.runner.JobResult`\\ s into a benchmark
+record and writes it as ``BENCH_sweep.json`` so the perf trajectory of the
+simulator is tracked from run to run (CI uploads the file as an artifact).
+
+Record schema (stable; additions only)::
+
+    {
+      "schema": 1,
+      "version": "<repro package version>",
+      "workers": 4,
+      "total_wall_s": 12.3,          # end-to-end sweep wall time
+      "jobs": [ {config, workload, ops, seed, wall_s, events,
+                 events_per_s, cached, attempts, ipc, error}, ... ],
+      "summary": {n_jobs, n_cached, n_failed, sim_wall_s,
+                  total_events, events_per_s, cache: {hits, misses, stores}}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro import __version__
+from repro.exec.cache import ResultCache
+from repro.exec.runner import JobResult
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Default output file name for sweep benchmarks.
+BENCH_FILENAME = "BENCH_sweep.json"
+
+
+def job_record(jr: JobResult) -> Dict[str, Any]:
+    """Flatten one job result into the benchmark schema."""
+    return {
+        "config": jr.job.config.name,
+        "workload": jr.job.workload,
+        "ops": jr.job.ops,
+        "seed": jr.job.seed,
+        "wall_s": round(jr.wall_s, 4),
+        "events": jr.events,
+        "events_per_s": round(jr.events_per_s, 1),
+        "cached": jr.cached,
+        "attempts": jr.attempts,
+        "ipc": round(jr.result.ipc, 4) if jr.result is not None else None,
+        "error": jr.error,
+    }
+
+
+def bench_record(results: Sequence[JobResult], total_wall_s: float,
+                 workers: int,
+                 cache: Optional[ResultCache] = None) -> Dict[str, Any]:
+    """Build the full benchmark record for one sweep invocation."""
+    sim_wall = sum(r.wall_s for r in results)
+    events = sum(r.events for r in results if not r.cached)
+    executed_wall = sum(r.wall_s for r in results if not r.cached)
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "version": __version__,
+        "workers": workers,
+        "total_wall_s": round(total_wall_s, 4),
+        "jobs": [job_record(r) for r in results],
+        "summary": {
+            "n_jobs": len(results),
+            "n_cached": sum(1 for r in results if r.cached),
+            "n_failed": sum(1 for r in results if r.result is None),
+            "sim_wall_s": round(sim_wall, 4),
+            "total_events": events,
+            "events_per_s": round(events / executed_wall, 1) if executed_wall > 0 else 0.0,
+            "cache": cache.counters() if cache is not None else None,
+        },
+    }
+
+
+def write_bench(record: Dict[str, Any], path: Optional[os.PathLike] = None) -> Path:
+    """Atomically write the benchmark record; returns the file path."""
+    out = Path(path) if path is not None else Path(BENCH_FILENAME)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=out.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, out)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return out
+
+
+def format_summary(record: Dict[str, Any]) -> List[str]:
+    """Human-readable summary lines for the CLI."""
+    s = record["summary"]
+    lines = [
+        f"jobs: {s['n_jobs']} total, {s['n_cached']} from cache, "
+        f"{s['n_failed']} failed",
+        f"wall time: {record['total_wall_s']:.2f}s end-to-end "
+        f"({s['sim_wall_s']:.2f}s of simulation across {record['workers']} workers)",
+    ]
+    if s["total_events"]:
+        lines.append(f"kernel throughput: {s['total_events']:,} events at "
+                     f"{s['events_per_s']:,.0f} events/s per worker")
+    c = s.get("cache")
+    if c is not None:
+        lines.append(f"cache: hits: {c['hits']} misses: {c['misses']} "
+                     f"stores: {c['stores']}")
+    return lines

@@ -1,0 +1,256 @@
+"""Process-pool sweep runner.
+
+A sweep is a list of independent simulation jobs — ``(SystemConfig,
+workload, ops, seed)`` — fanned across :class:`ProcessPoolExecutor`
+workers. Results come back in job order regardless of completion order,
+each job gets a waiting timeout and bounded retries, and an optional
+on-disk :class:`~repro.exec.cache.ResultCache` short-circuits jobs that
+have already been simulated by *any* previous process.
+
+Workers receive the config by value (dataclasses pickle cleanly) and the
+workload by catalog name, so nothing process-local leaks into a job and a
+job simulated in a worker is bit-identical to the same job simulated
+in-process (see ``tests/test_exec_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time as _time
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exec.cache import ResultCache
+from repro.system.config import ALL_CONFIGS, SystemConfig
+from repro.system.stats import SimResult
+
+#: Environment variable setting the default worker count.
+ENV_JOBS = "REPRO_JOBS"
+
+
+def default_workers() -> int:
+    """Worker count: ``$REPRO_JOBS`` if set, else the host's CPU count."""
+    env = os.environ.get(ENV_JOBS)
+    if env:
+        try:
+            n = int(env)
+        except ValueError:
+            raise ValueError(f"{ENV_JOBS} must be an integer, got {env!r}") from None
+        if n < 1:
+            raise ValueError(f"{ENV_JOBS} must be >= 1, got {n}")
+        return n
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One point of a sweep grid."""
+
+    config: SystemConfig
+    workload: str
+    ops: Optional[int] = None
+    seed: int = 1
+
+    def label(self) -> str:
+        return f"{self.config.name}/{self.workload}/ops={self.ops}/seed={self.seed}"
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: the result plus execution telemetry."""
+
+    job: SweepJob
+    result: Optional[SimResult]          # None iff the job ultimately failed
+    wall_s: float = 0.0                  # simulate() wall time in the worker
+    events: int = 0                      # kernel events fired by the run
+    cached: bool = False                 # served from the on-disk cache
+    attempts: int = 0                    # 0 for cache hits
+    error: Optional[str] = None
+
+    @property
+    def events_per_s(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+
+def _simulate_job(job: SweepJob) -> Tuple[SimResult, float, int]:
+    """Worker entry point: run one job, timing it (module-level: picklable)."""
+    from repro.system.sim import simulate
+    from repro.workloads.catalog import get_workload
+
+    t0 = _time.perf_counter()
+    result = simulate(job.config, get_workload(job.workload),
+                      ops_per_core=job.ops, seed=job.seed)
+    wall = _time.perf_counter() - t0
+    events = int(result.extras.get("events_fired", 0))
+    return result, wall, events
+
+
+def expand_grid(configs: Sequence[str], workloads: Sequence[str],
+                ops: Optional[int] = None,
+                seeds: Sequence[int] = (1,)) -> List[SweepJob]:
+    """Build the (config x workload x seed) job list from config names."""
+    jobs = []
+    for c in configs:
+        if c not in ALL_CONFIGS:
+            raise KeyError(f"unknown config {c!r}; valid: {list(ALL_CONFIGS)}")
+        cfg = ALL_CONFIGS[c]()
+        for w in workloads:
+            for s in seeds:
+                jobs.append(SweepJob(cfg, w, ops, s))
+    return jobs
+
+
+class SweepRunner:
+    """Fan jobs across a process pool with caching, timeout, and retries.
+
+    Parameters
+    ----------
+    workers:
+        Pool size (default: :func:`default_workers`). ``1`` runs jobs
+        inline in this process — no pool, no pickling.
+    cache:
+        Optional :class:`ResultCache` consulted before any job is
+        submitted and updated as results arrive.
+    job_timeout_s:
+        Maximum seconds to *wait* for one job's result before counting a
+        failed attempt. A timed-out attempt is resubmitted; the stuck
+        worker task is abandoned to finish in the background.
+    retries:
+        Extra attempts after the first failure/timeout.
+    progress:
+        Callback ``(done, total, job_result)`` invoked as each job
+        settles; use :func:`print_progress` for a stderr ticker.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 cache: Optional[ResultCache] = None,
+                 job_timeout_s: Optional[float] = None,
+                 retries: int = 1,
+                 progress: Optional[Callable[[int, int, JobResult], None]] = None):
+        self.workers = workers if workers is not None else default_workers()
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        self.cache = cache
+        self.job_timeout_s = job_timeout_s
+        self.retries = max(0, retries)
+        self.progress = progress
+
+    # -- execution -------------------------------------------------------------
+    def run(self, jobs: Sequence[SweepJob]) -> List[JobResult]:
+        """Run every job; the returned list is ordered like ``jobs``."""
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+        todo: List[int] = []
+
+        # Cache pass: settle hits without touching the pool.
+        done = 0
+        for i, job in enumerate(jobs):
+            hit = self.cache.get(job.config, job.workload, job.ops,
+                                 job.seed) if self.cache else None
+            if hit is not None:
+                results[i] = JobResult(
+                    job=job, result=hit, cached=True,
+                    events=int(hit.extras.get("events_fired", 0)))
+                done += 1
+                if self.progress:
+                    self.progress(done, len(jobs), results[i])
+            else:
+                todo.append(i)
+
+        if todo:
+            if self.workers == 1:
+                self._run_inline(jobs, todo, results, done)
+            else:
+                self._run_pool(jobs, todo, results, done)
+
+        out = [r for r in results if r is not None]
+        assert len(out) == len(jobs)
+        return out
+
+    def _settle(self, i: int, jr: JobResult,
+                results: List[Optional[JobResult]], done: int,
+                total: int) -> int:
+        results[i] = jr
+        if jr.result is not None and self.cache:
+            self.cache.put(jr.job.config, jr.job.workload, jr.job.ops,
+                           jr.job.seed, jr.result)
+        done += 1
+        if self.progress:
+            self.progress(done, total, jr)
+        return done
+
+    def _run_inline(self, jobs: Sequence[SweepJob], todo: List[int],
+                    results: List[Optional[JobResult]], done: int) -> None:
+        for i in todo:
+            job = jobs[i]
+            jr = JobResult(job=job, result=None)
+            for attempt in range(1 + self.retries):
+                jr.attempts = attempt + 1
+                try:
+                    jr.result, jr.wall_s, jr.events = _simulate_job(job)
+                    jr.error = None
+                    break
+                except Exception as e:  # pragma: no cover - defensive
+                    jr.error = f"{type(e).__name__}: {e}"
+            done = self._settle(i, jr, results, done, len(jobs))
+
+    def _run_pool(self, jobs: Sequence[SweepJob], todo: List[int],
+                  results: List[Optional[JobResult]], done: int) -> None:
+        attempts: Dict[int, int] = {i: 0 for i in todo}
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = {i: pool.submit(_simulate_job, jobs[i]) for i in todo}
+            while futures:
+                # Settle in index order for deterministic retry behaviour;
+                # jobs still *run* concurrently across the pool.
+                i = min(futures)
+                fut = futures.pop(i)
+                job = jobs[i]
+                attempts[i] += 1
+                try:
+                    result, wall, events = fut.result(timeout=self.job_timeout_s)
+                    done = self._settle(
+                        i, JobResult(job=job, result=result, wall_s=wall,
+                                     events=events, attempts=attempts[i]),
+                        results, done, len(jobs))
+                except FutureTimeout:
+                    fut.cancel()
+                    if attempts[i] <= self.retries:
+                        futures[i] = pool.submit(_simulate_job, job)
+                    else:
+                        done = self._settle(
+                            i, JobResult(job=job, result=None,
+                                         attempts=attempts[i],
+                                         error=f"timeout after {self.job_timeout_s}s"),
+                            results, done, len(jobs))
+                except Exception as e:
+                    if attempts[i] <= self.retries:
+                        futures[i] = pool.submit(_simulate_job, job)
+                    else:
+                        done = self._settle(
+                            i, JobResult(job=job, result=None,
+                                         attempts=attempts[i],
+                                         error=f"{type(e).__name__}: {e}"),
+                            results, done, len(jobs))
+
+
+def print_progress(done: int, total: int, jr: JobResult) -> None:
+    """Stderr progress ticker for interactive sweeps."""
+    tag = "cache" if jr.cached else (
+        "FAIL " if jr.result is None else f"{jr.wall_s:5.1f}s")
+    print(f"  [{done:3d}/{total}] {tag}  {jr.job.label()}", file=sys.stderr)
+
+
+def run_sweep(configs: Sequence[str], workloads: Sequence[str],
+              ops: Optional[int] = None, seeds: Sequence[int] = (1,),
+              workers: Optional[int] = None,
+              cache: Optional[ResultCache] = None,
+              job_timeout_s: Optional[float] = None, retries: int = 1,
+              progress: Optional[Callable[[int, int, JobResult], None]] = None,
+              ) -> List[JobResult]:
+    """One-call grid sweep: expand, run, return ordered :class:`JobResult`\\ s."""
+    jobs = expand_grid(configs, workloads, ops, seeds)
+    runner = SweepRunner(workers=workers, cache=cache,
+                         job_timeout_s=job_timeout_s, retries=retries,
+                         progress=progress)
+    return runner.run(jobs)

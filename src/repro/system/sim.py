@@ -21,9 +21,22 @@ from repro.system.config import SystemConfig
 from repro.system.stats import SimResult, breakdown_from_records
 
 
-def _scale() -> float:
-    """Global run-length multiplier (REPRO_SCALE env var, default 1)."""
-    return float(os.environ.get("REPRO_SCALE", "1"))
+def _parse_scale(raw: str) -> float:
+    """Validate the REPRO_SCALE env var (must be a positive number)."""
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SCALE must be a number (run-length multiplier), got {raw!r}"
+        ) from None
+    if not value > 0:
+        raise ValueError(f"REPRO_SCALE must be > 0, got {value}")
+    return value
+
+
+#: Global run-length multiplier, parsed (and validated) once at import
+#: rather than on every ``simulate()`` call.
+_SCALE: float = _parse_scale(os.environ.get("REPRO_SCALE", "1"))
 
 
 def _replay_functional(chip: Chip, core, trace: Trace) -> None:
@@ -120,7 +133,7 @@ def simulate(
         wl_name = "mix"
         spec = None
     else:
-        n_ops = ops_per_core or int(getattr(workload, "default_ops", 6000) * _scale())
+        n_ops = ops_per_core or int(getattr(workload, "default_ops", 6000) * _SCALE)
         traces = [workload.generate(n_ops, seed=seed + 1000 * c) for c in range(n_active)]
         wl_name = workload.name
         spec = workload
@@ -213,5 +226,6 @@ def simulate(
             "l2_misses": l2_misses,
             "mem_writes": chip.stats.get("mem_writes", 0.0),
             "calm_wasted_bytes": chip.stats.get("calm_wasted_bytes", 0.0),
+            "events_fired": float(sim.events_fired),
         },
     )

@@ -13,10 +13,12 @@ Use :func:`get_workload` / :data:`WORKLOADS` for the catalog and
 """
 
 from repro.workloads.params import WorkloadSpec
-from repro.workloads.catalog import WORKLOADS, get_workload, workload_names, SUITES
+from repro.workloads.catalog import (
+    REPRESENTATIVE, SUITES, WORKLOADS, get_workload, workload_names,
+)
 from repro.workloads.mixes import make_mixes
 
 __all__ = [
     "WorkloadSpec", "WORKLOADS", "get_workload", "workload_names",
-    "SUITES", "make_mixes",
+    "SUITES", "REPRESENTATIVE", "make_mixes",
 ]

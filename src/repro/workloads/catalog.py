@@ -167,3 +167,15 @@ def get_workload(name: str) -> WorkloadSpec:
 def workload_names() -> List[str]:
     """All 36 workload names in catalog order."""
     return [w.name for w in _ENTRIES]
+
+
+#: Representative subset spanning every suite and behaviour class
+#: (bandwidth-bound streams, graph gathers, latency-bound pointer chasers,
+#: LLC-friendly PARSEC codes). The figure/table benches and the ``repro
+#: sweep`` CLI default to this list.
+REPRESENTATIVE: List[str] = [
+    "lbm", "bwaves", "cam4", "mcf", "gcc",
+    "PageRank", "Components", "BFS", "CF",
+    "stream-copy", "stream-add",
+    "masstree", "kmeans", "raytrace", "canneal",
+]

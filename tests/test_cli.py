@@ -73,3 +73,24 @@ class TestCommands:
         assert main(["cost", "--capacity", "3072"]) == 0
         out = capsys.readouterr().out
         assert "COAXIAL" in out
+
+    def test_sweep_cold_then_warm(self, capsys, tmp_path):
+        argv = ["sweep", "--configs", "ddr-baseline", "--workloads", "mcf,BFS",
+                "--ops", "250", "--jobs", "1", "--quiet",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--bench-out", str(tmp_path / "BENCH_sweep.json")]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "misses: 2" in cold and "stores: 2" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "hits: 2 misses: 0" in warm
+        import json
+        bench = json.loads((tmp_path / "BENCH_sweep.json").read_text())
+        assert bench["summary"]["n_jobs"] == 2
+        assert bench["summary"]["n_cached"] == 2
+        assert {j["workload"] for j in bench["jobs"]} == {"mcf", "BFS"}
+
+    def test_sweep_unknown_config(self, capsys, tmp_path):
+        assert main(["sweep", "--configs", "warpdrive",
+                     "--cache-dir", str(tmp_path)]) == 2

@@ -131,6 +131,86 @@ class TestSimulator:
         assert fired == [0, 1, 2, 3, 4]
 
 
+class TestFastPath:
+    def test_push_fast_interleaves_with_push(self):
+        q = EventQueue()
+        out = []
+        q.push_fast(2.0, out.append, ("fast",))
+        q.push(1.0, out.append, "handle")
+        q.push_fast(1.0, out.append, ("fast-tie",))
+        while True:
+            ev = q.pop()
+            if ev is None:
+                break
+            ev.fn(*ev.args)
+        assert out == ["handle", "fast-tie", "fast"]
+
+    def test_len_is_tracked_incrementally(self):
+        q = EventQueue()
+        q.push_fast(1.0, lambda: None, ())
+        ev = q.push(2.0, lambda: None)
+        assert len(q) == 2
+        ev.cancel()
+        assert len(q) == 1
+        ev.cancel()  # double-cancel must not double-count
+        assert len(q) == 1
+        q.pop()
+        assert len(q) == 0 and not q
+
+    def test_bool_does_not_mutate(self):
+        q = EventQueue()
+        ev = q.push(1.0, lambda: None)
+        ev.cancel()
+        heap_before = list(q._heap)
+        assert not q
+        assert q._heap == heap_before  # __bool__ no longer pops
+
+    def test_cancelled_never_fires_via_run(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule_cancellable(1.0, fired.append, "x")
+        sim.schedule(2.0, fired.append, "y")
+        ev.cancel()
+        sim.run()
+        assert fired == ["y"]
+        assert sim.events_fired == 1
+
+    def test_schedule_at_cancellable(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule_at_cancellable(3.0, fired.append, "x")
+        assert ev.time == 3.0
+        sim.run()
+        assert fired == ["x"]
+
+    def test_cancel_after_pop_is_noop(self):
+        q = EventQueue()
+        ev = q.pop()
+        assert ev is None
+        q.push(1.0, lambda: None)
+        popped = q.pop()
+        popped.cancel()  # handle is off the heap; queue state unchanged
+        assert len(q) == 0 and not q._cancelled
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None).cancel()
+        q.push_fast(2.0, lambda: None, ())
+        q.clear()
+        assert len(q) == 0 and q.pop() is None
+
+    def test_run_until_with_cancelled_head(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule_cancellable(10.0, fired.append, "dead")
+        sim.schedule(12.0, fired.append, "live")
+        ev.cancel()
+        sim.run(until=5.0)
+        assert fired == [] and sim.now == 5.0
+        sim.run()
+        assert fired == ["live"] and sim.now == 12.0
+
+
 class TestComponent:
     def test_bump_accumulates(self):
         sim = Simulator()

@@ -1,0 +1,52 @@
+"""Determinism regression: pooled and in-process runs must agree exactly.
+
+Guards two things at once:
+
+- the parallel runner ships jobs by value and leaks no process-local state
+  into a simulation, and
+- the tuple-based event queue's (time, seq) tie-breaking is identical to
+  the old Event-object ordering, independent of heap internals.
+
+Any drift shows up as a field-level mismatch between a ``SimResult``
+computed here and the same job computed in a pool worker.
+"""
+
+import dataclasses
+
+from repro.exec.runner import SweepJob, SweepRunner
+from repro.system.config import baseline_config, coaxial_config
+from repro.system.sim import simulate
+from repro.workloads import get_workload
+
+OPS = 300
+
+
+def _run_inprocess(cfg, workload, ops, seed):
+    return simulate(cfg, get_workload(workload), ops_per_core=ops, seed=seed)
+
+
+class TestPoolDeterminism:
+    def test_pool_worker_matches_inprocess(self):
+        jobs = [SweepJob(baseline_config(), "mcf", OPS, 1),
+                SweepJob(coaxial_config(), "stream-copy", OPS, 7)]
+        pooled = SweepRunner(workers=2, cache=None).run(jobs)
+        for jr in pooled:
+            local = _run_inprocess(jr.job.config, jr.job.workload,
+                                   jr.job.ops, jr.job.seed)
+            assert dataclasses.asdict(jr.result) == dataclasses.asdict(local), \
+                f"pooled run diverged for {jr.job.label()}"
+
+    def test_repeated_inprocess_runs_identical(self):
+        cfg = coaxial_config()
+        a = _run_inprocess(cfg, "gcc", OPS, 3)
+        b = _run_inprocess(cfg, "gcc", OPS, 3)
+        assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+    def test_cache_roundtrip_preserves_every_field(self, tmp_path):
+        from repro.exec.cache import ResultCache
+        cache = ResultCache(root=tmp_path)
+        cfg = baseline_config()
+        fresh = _run_inprocess(cfg, "mcf", OPS, 1)
+        cache.put(cfg, "mcf", OPS, 1, fresh)
+        loaded = cache.get(cfg, "mcf", OPS, 1)
+        assert dataclasses.asdict(loaded) == dataclasses.asdict(fresh)

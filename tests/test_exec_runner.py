@@ -1,0 +1,113 @@
+"""Unit tests for the process-pool sweep runner."""
+
+import pytest
+
+from repro.exec.cache import ResultCache
+from repro.exec.runner import (
+    JobResult, SweepJob, SweepRunner, default_workers, expand_grid, run_sweep,
+)
+from repro.system.config import baseline_config
+
+OPS = 250
+
+
+class TestExpandGrid:
+    def test_grid_shape_and_order(self):
+        jobs = expand_grid(["ddr-baseline", "coaxial-4x"], ["mcf", "gcc"],
+                           ops=100, seeds=[1, 2])
+        assert len(jobs) == 8
+        assert jobs[0].config.name == "ddr-baseline"
+        assert [j.seed for j in jobs[:2]] == [1, 2]
+        assert jobs[-1].config.name == "coaxial-4x"
+        assert all(j.ops == 100 for j in jobs)
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(KeyError):
+            expand_grid(["nope"], ["mcf"])
+
+
+class TestDefaultWorkers:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_workers() == 3
+
+    def test_env_validation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            default_workers()
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            default_workers()
+
+    def test_default_is_positive(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_workers() >= 1
+
+
+class TestInlineRunner:
+    def test_runs_and_orders_results(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        runner = SweepRunner(workers=1, cache=cache)
+        jobs = [SweepJob(baseline_config(), w, OPS, 1) for w in ("mcf", "BFS")]
+        results = runner.run(jobs)
+        assert [r.job.workload for r in results] == ["mcf", "BFS"]
+        assert all(r.result is not None and not r.cached for r in results)
+        assert all(r.wall_s > 0 and r.events > 0 for r in results)
+        assert cache.counters()["stores"] == 2
+
+    def test_cache_pass_short_circuits(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        jobs = [SweepJob(baseline_config(), "mcf", OPS, 1)]
+        cold = SweepRunner(workers=1, cache=cache).run(jobs)
+        warm = SweepRunner(workers=1, cache=cache).run(jobs)
+        assert not cold[0].cached and warm[0].cached
+        assert warm[0].result.ipc == cold[0].result.ipc
+        assert warm[0].events == cold[0].events  # telemetry survives the cache
+
+    def test_failed_job_reported_after_retries(self):
+        runner = SweepRunner(workers=1, retries=1)
+        results = runner.run([SweepJob(baseline_config(), "no-such-wl", OPS, 1)])
+        (r,) = results
+        assert r.result is None
+        assert r.attempts == 2
+        assert "no-such-wl" in r.error
+
+    def test_progress_callback_sees_every_job(self, tmp_path):
+        seen = []
+        runner = SweepRunner(
+            workers=1, cache=ResultCache(root=tmp_path),
+            progress=lambda done, total, jr: seen.append((done, total)))
+        runner.run([SweepJob(baseline_config(), w, OPS, 1)
+                    for w in ("mcf", "BFS")])
+        assert seen == [(1, 2), (2, 2)]
+
+
+class TestPoolRunner:
+    def test_pool_matches_job_order(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        results = run_sweep(["ddr-baseline"], ["mcf", "BFS", "gcc"], ops=OPS,
+                            workers=2, cache=cache)
+        assert [r.job.workload for r in results] == ["mcf", "BFS", "gcc"]
+        assert all(r.result is not None for r in results)
+        assert cache.counters() == {"hits": 0, "misses": 3, "stores": 3}
+
+    def test_pool_failure_after_retries(self):
+        runner = SweepRunner(workers=2, retries=1)
+        jobs = [SweepJob(baseline_config(), "mcf", OPS, 1),
+                SweepJob(baseline_config(), "no-such-wl", OPS, 1)]
+        results = runner.run(jobs)
+        assert results[0].result is not None
+        assert results[1].result is None and results[1].attempts == 2
+
+
+class TestRunSuiteWorkers:
+    def test_parallel_suite_matches_serial(self, tmp_path, monkeypatch):
+        import repro.analysis.tables as tables
+        monkeypatch.setattr(tables, "_disk", ResultCache(root=tmp_path))
+        tables.clear_cache()
+        cfg = baseline_config()
+        par = tables.run_suite(cfg, ["mcf", "BFS"], ops_per_core=OPS, workers=2)
+        tables.clear_cache()
+        ser = tables.run_suite(cfg, ["mcf", "BFS"], ops_per_core=OPS)
+        assert par.ipcs() == ser.ipcs()
+        tables.clear_cache()

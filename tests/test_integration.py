@@ -105,8 +105,18 @@ class TestWriteTraffic:
 
 
 class TestScaleKnob:
-    def test_repro_scale_env(self, monkeypatch):
-        monkeypatch.setenv("REPRO_SCALE", "0.5")
+    def test_repro_scale_applied(self, monkeypatch):
+        # REPRO_SCALE is parsed once at import; patch the parsed value.
+        import repro.system.sim as sim_mod
+        monkeypatch.setattr(sim_mod, "_SCALE", 0.5)
         wl = get_workload("mcf")
         r = simulate(baseline_config(), wl)
         assert r.instructions > 0
+
+    def test_repro_scale_validation(self):
+        from repro.system.sim import _parse_scale
+        assert _parse_scale("2") == 2.0
+        with pytest.raises(ValueError, match="REPRO_SCALE"):
+            _parse_scale("fast")
+        with pytest.raises(ValueError, match="REPRO_SCALE"):
+            _parse_scale("-1")
