@@ -68,6 +68,11 @@ class CalmR(CalmPolicy):
         System memory read bandwidth ceiling (set by the system builder).
     epoch_ns:
         Estimation epoch; rates from the previous epoch drive decisions.
+    now_fn:
+        The simulation clock (e.g. ``lambda: sim.now``). Required before
+        the first :meth:`decide`: without a clock the epoch never rolls,
+        ``bw_unfiltered`` stays 0, and the policy silently degenerates to
+        :class:`AlwaysCalm` — so an unwired policy raises instead.
     """
 
     def __init__(
@@ -85,7 +90,7 @@ class CalmR(CalmPolicy):
         self.r_fraction = r_fraction
         self.peak_bandwidth_gbps = peak_bandwidth_gbps
         self.epoch_ns = epoch_ns
-        self.now_fn = now_fn or (lambda: 0.0)
+        self.now_fn = now_fn
         self._rng = random.Random(seed)
         self._epoch_start = 0.0
         self._l2_misses_epoch = 0
@@ -105,6 +110,12 @@ class CalmR(CalmPolicy):
         self._llc_misses_epoch = 0
 
     def decide(self, pc: int, addr: int) -> bool:
+        if self.now_fn is None:
+            raise RuntimeError(
+                "CalmR.decide() without a wired clock: pass now_fn (e.g. "
+                "lambda: sim.now) to CalmR or make_calm_policy. An unwired "
+                "clock never rolls the estimation epoch, so the policy would "
+                "silently degenerate to AlwaysCalm.")
         now = self.now_fn()
         self._roll_epoch(now)
         self._l2_misses_epoch += 1
@@ -164,6 +175,9 @@ def make_calm_policy(spec: str, peak_bandwidth_gbps: float = 38.4,
 
     Specs: ``never`` | ``always`` | ``mapi`` | ``ideal`` | ``calm_50`` /
     ``calm_60`` / ``calm_70`` / ... (any ``calm_<percent>``).
+
+    ``calm_*`` policies need ``now_fn`` wired to the simulation clock
+    before their first ``decide`` (see :class:`CalmR`).
     """
     if spec == "never":
         return NeverCalm()

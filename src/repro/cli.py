@@ -6,6 +6,7 @@ Examples
 
     python -m repro list
     python -m repro run --config coaxial-4x --workload stream-copy
+    python -m repro trace --config coaxial-4x --workload mcf --strict
     python -m repro compare --workloads stream-copy,PageRank,gcc
     python -m repro curve --loads 0.1,0.3,0.5,0.6
     python -m repro area
@@ -44,6 +45,18 @@ def cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_violation_report(report: dict) -> None:
+    """Summarize an extras["invariant_violations"] dict on stdout."""
+    count = report.get("count", 0)
+    checked = report.get("checked_requests", 0)
+    print(f"  invariants       : {count} violation(s) over "
+          f"{checked} checked request(s)")
+    for kind, n in sorted(report.get("by_kind", {}).items()):
+        print(f"    {kind:24s} x{n}")
+    for v in report.get("violations", [])[:5]:
+        print(f"    e.g. {v['message']}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     cfg = ALL_CONFIGS[args.config]()
     if args.calm:
@@ -51,7 +64,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.active_cores:
         cfg = cfg.replace(active_cores=args.active_cores)
     wl = get_workload(args.workload)
-    r = simulate(cfg, wl, ops_per_core=args.ops, seed=args.seed)
+    r = simulate(cfg, wl, ops_per_core=args.ops, seed=args.seed,
+                 validate=args.validate)
     print(r.summary())
     print(f"  p90 miss latency : {r.p90_miss_latency:.1f} ns")
     print(f"  read/write BW    : {r.read_bandwidth_gbps:.1f} / "
@@ -61,7 +75,35 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"  CALM fraction    : {100 * r.calm_fraction:.1f}% "
               f"(fp {100 * r.calm_false_pos_rate:.1f}%, "
               f"fn {100 * r.calm_false_neg_rate:.1f}%)")
+    report = r.extras.get("invariant_violations")
+    if report is not None:
+        _print_violation_report(report)
+        if report.get("count", 0):
+            return 1
     return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one simulation under audit and export the request trace."""
+    from repro.validate import InvariantError, TraceRecorder
+
+    cfg = ALL_CONFIGS[args.config]()
+    wl = get_workload(args.workload)
+    recorder = TraceRecorder(capacity=args.capacity)
+    mode = "strict" if args.strict else "on"
+    try:
+        r = simulate(cfg, wl, ops_per_core=args.ops, seed=args.seed,
+                     validate=mode, trace=recorder)
+    except InvariantError as e:
+        print(f"invariant violation (strict): {e}", file=sys.stderr)
+        return 1
+    out = recorder.export(args.out, fmt=args.format)
+    print(r.summary())
+    print(f"  trace            : {len(recorder)} of {recorder.recorded} "
+          f"measured requests -> {out}")
+    report = r.extras.get("invariant_violations", {})
+    _print_violation_report(report)
+    return 1 if report.get("count", 0) else 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -129,7 +171,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     except ValueError as e:
         print(f"error: {e}", file=sys.stderr)
         return 2
-    jobs = expand_grid(configs, workloads, ops=args.ops, seeds=seeds)
+    jobs = expand_grid(configs, workloads, ops=args.ops, seeds=seeds,
+                       validate=args.validate)
     print(f"sweep: {len(configs)} config(s) x {len(workloads)} workload(s) x "
           f"{len(seeds)} seed(s) = {len(jobs)} jobs on {workers} worker(s)")
 
@@ -160,7 +203,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     failed = [r for r in results if r.result is None]
     for r in failed:
         print(f"FAILED: {r.job.label()}: {r.error}", file=sys.stderr)
-    return 1 if failed else 0
+
+    dirty = [r for r in results
+             if r.result is not None
+             and (r.result.invariant_violation_count or 0) > 0]
+    for r in dirty:
+        print(f"INVARIANT VIOLATIONS: {r.job.label()}: "
+              f"{r.result.invariant_violation_count}", file=sys.stderr)
+    return 1 if failed or dirty else 0
 
 
 def cmd_curve(args: argparse.Namespace) -> int:
@@ -231,7 +281,29 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--calm", default=None,
                     help="override CALM policy (never/calm_70/mapi/ideal)")
     pr.add_argument("--active-cores", type=int, default=None)
+    pr.add_argument("--validate", default=None,
+                    choices=["off", "on", "strict"],
+                    help="request-lifecycle invariant auditing "
+                         "(default: $REPRO_VALIDATE)")
     pr.set_defaults(fn=cmd_run)
+
+    pt = sub.add_parser(
+        "trace", help="run one simulation under invariant audit and export "
+                      "the per-request timeline trace")
+    pt.add_argument("--config", default="coaxial-4x", choices=list(ALL_CONFIGS))
+    pt.add_argument("--workload", default="stream-copy")
+    pt.add_argument("--ops", type=int, default=None,
+                    help="memory ops per core (default: workload default)")
+    pt.add_argument("--seed", type=int, default=1)
+    pt.add_argument("--out", default="trace.jsonl",
+                    help="output path (default: trace.jsonl)")
+    pt.add_argument("--format", default=None, choices=["jsonl", "npy"],
+                    help="export format (default: by --out suffix)")
+    pt.add_argument("--capacity", type=int, default=4096,
+                    help="trace ring-buffer size (most recent N requests)")
+    pt.add_argument("--strict", action="store_true",
+                    help="raise on the first invariant violation")
+    pt.set_defaults(fn=cmd_trace)
 
     pc = sub.add_parser("compare", help="speedup of configs over a baseline")
     pc.add_argument("--workloads", default="stream-copy,PageRank,gcc")
@@ -267,6 +339,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="where to write the benchmark record")
     ps.add_argument("--quiet", action="store_true",
                     help="suppress the per-job progress ticker")
+    ps.add_argument("--validate", default=None,
+                    choices=["off", "on", "strict"],
+                    help="invariant auditing per job (cache hits skip it)")
     ps.set_defaults(fn=cmd_sweep)
 
     pv = sub.add_parser("curve", help="DDR load-latency curve (Fig 2a)")

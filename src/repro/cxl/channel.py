@@ -82,6 +82,20 @@ class CxlChannel(Component):
         """Device-side DDR bandwidth behind this channel (read path)."""
         return self.device.peak_bandwidth_gbps
 
+    def reset_link_counters(self) -> None:
+        """Zero the serial links' byte counters (measurement boundary)."""
+        self.tx.bytes_moved = 0.0
+        self.rx.bytes_moved = 0.0
+
+    def link_utilizations(self, elapsed_ns: float) -> dict:
+        """Achieved / goodput fraction per link direction over a window.
+
+        The invariant checker asserts both stay <= 1; anything above
+        physical goodput means bytes were double-counted somewhere.
+        """
+        return {"tx": self.tx.utilization(elapsed_ns),
+                "rx": self.rx.utilization(elapsed_ns)}
+
     def min_read_premium_ns(self) -> float:
         """Unloaded latency this channel adds to a read."""
         return self.params.min_read_latency_ns()

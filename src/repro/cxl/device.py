@@ -36,7 +36,18 @@ class CxlType3Device(Component):
         super().__init__(sim, name)
         if n_ddr_channels < 1:
             raise ValueError("device needs at least one DDR channel")
-        self.system_channels = max(system_channels, n_ddr_channels)
+        # The local channel select is the global channel index modulo the
+        # device's channel count, so the interleave width must be a multiple
+        # of the local count: otherwise the double modulo
+        # ((addr >> 6) % system_channels) % n skews traffic across the
+        # device-local channels (e.g. 8 system channels over 3 local ones
+        # would load them 3:3:2). Builder-assembled systems always satisfy
+        # this (total = ports * ddr_per_cxl); standalone devices get the
+        # width rounded up, which only relabels unused interleave slots.
+        system_channels = max(system_channels, 1)
+        if system_channels % n_ddr_channels:
+            system_channels += n_ddr_channels - (system_channels % n_ddr_channels)
+        self.system_channels = system_channels
         self.channels: List[DDRChannel] = [
             DDRChannel(sim, f"{name}.ddr{i}", timing,
                        response_fn=self._on_dram_response,
@@ -46,7 +57,12 @@ class CxlType3Device(Component):
         self.response_fn = response_fn
 
     def submit(self, req: MemRequest) -> None:
-        """Route a request to the device-local DDR channel by address."""
+        """Route a request to the device-local DDR channel by address.
+
+        ``system_channels`` is a multiple of the local channel count (see
+        ``__init__``), so the residue is uniform over local channels for
+        any line-interleaved address stream.
+        """
         g = (req.addr >> LINE_SHIFT) % self.system_channels
         chan = self.channels[g % len(self.channels)]
         chan.enqueue(req)

@@ -29,8 +29,9 @@ class _SubChannel:
     """One 32-bit DDR5 sub-channel: queues, banks, data bus."""
 
     __slots__ = (
-        "owner", "tm", "ranks", "reads", "writes", "bus_free", "last_was_write",
-        "draining", "pass_pending", "read_q_cap", "write_hi", "write_lo",
+        "owner", "tm", "ranks", "reads", "writes", "overflow", "bus_free",
+        "last_was_write", "draining", "pass_pending", "read_q_cap",
+        "read_q_hiwat", "write_hi", "write_lo",
     )
 
     def __init__(self, owner: "DDRChannel", tm: DDR5Timing, ranks: int,
@@ -40,22 +41,39 @@ class _SubChannel:
         self.ranks = [Rank(tm, tm.banks) for _ in range(ranks)]
         self.reads: List[Tuple[MemRequest, DramCoord]] = []
         self.writes: List[Tuple[MemRequest, DramCoord]] = []
+        #: Reads arriving while the scheduler queue is at ``read_q_cap``:
+        #: they wait outside the controller (modelling the issuer stalled by
+        #: back-pressure) and are admitted FIFO as scheduler entries free up.
+        self.overflow: List[Tuple[MemRequest, DramCoord]] = []
         self.bus_free = 0.0
         self.last_was_write = False
         self.draining = False
         self.pass_pending = False
         self.read_q_cap = read_q_cap
+        self.read_q_hiwat = 0
         self.write_hi = write_hi
         self.write_lo = write_lo
 
     # -- queue admission ----------------------------------------------------
-    def enqueue(self, req: MemRequest, coord: DramCoord) -> None:
+    def enqueue(self, req: MemRequest, coord: DramCoord) -> bool:
+        """Accept a request; returns ``False`` when back-pressured.
+
+        ``t_mc_enqueue`` is stamped at arrival either way, so back-pressure
+        wait shows up as queuing delay, where it belongs.
+        """
         req.t_mc_enqueue = self.owner.sim.now
         if req.kind == READ:
+            if len(self.reads) >= self.read_q_cap:
+                self.overflow.append((req, coord))
+                self.owner.bump("read_q_stalls")
+                return False
             self.reads.append((req, coord))
+            if len(self.reads) > self.read_q_hiwat:
+                self.read_q_hiwat = len(self.reads)
         else:
             self.writes.append((req, coord))
         self._kick()
+        return True
 
     # -- scheduling ---------------------------------------------------------
     def _kick(self) -> None:
@@ -148,6 +166,11 @@ class _SubChannel:
         tm = self.tm
         idx = self._pick(queue)
         req, coord = queue.pop(idx)
+        if self.overflow and len(self.reads) < self.read_q_cap:
+            # A scheduler slot freed up: admit the oldest back-pressured
+            # read (it is younger than everything already queued, so the
+            # tail keeps FCFS age order).
+            self.reads.append(self.overflow.pop(0))
         is_write = req.kind != READ
         rank = self.ranks[coord.rank]
         bank = rank.banks[coord.bank]
@@ -241,7 +264,8 @@ class _SubChannel:
 
     @property
     def read_queue_len(self) -> int:
-        return len(self.reads)
+        """Queued reads, including any back-pressured beyond the cap."""
+        return len(self.reads) + len(self.overflow)
 
 
 class DDRChannel(Component):
@@ -281,6 +305,9 @@ class DDRChannel(Component):
         channel-select bits."""
         super().__init__(sim, name)
         from repro.dram.timing import DDR5_4800
+        if read_q_cap < 1:
+            raise ValueError(f"read_q_cap must be >= 1, got {read_q_cap}")
+        self.read_q_cap = read_q_cap
         self.timing = timing or DDR5_4800
         self.mapping = AddressMapping(
             channels=system_channels, subchannels=subchannels, ranks=ranks,
@@ -293,12 +320,17 @@ class DDRChannel(Component):
         self.response_fn = response_fn
 
     # -- public interface ---------------------------------------------------
-    def enqueue(self, req: MemRequest) -> None:
-        """Accept a line-granularity request. Writes are posted (no reply)."""
+    def enqueue(self, req: MemRequest) -> bool:
+        """Accept a line-granularity request. Writes are posted (no reply).
+
+        Returns ``False`` when the target sub-channel's read queue is at
+        ``read_q_cap`` and the request was back-pressured (it is still
+        served, FIFO, once a scheduler slot frees up).
+        """
         if req.kind not in (READ, WRITE, WRITEBACK):
             raise ValueError(f"unknown request kind {req.kind}")
         coord = self.mapping.decode(req.addr)
-        self.subs[coord.subchannel].enqueue(req, coord)
+        return self.subs[coord.subchannel].enqueue(req, coord)
 
     def _respond(self, req: MemRequest) -> None:
         if self.response_fn is not None:
@@ -322,3 +354,16 @@ class DDRChannel(Component):
     def read_queue_len(self) -> int:
         """Total queued (not yet issued) reads across sub-channels."""
         return sum(s.read_queue_len for s in self.subs)
+
+    def read_q_high_watermark(self) -> int:
+        """Largest scheduler-visible read-queue depth since the last reset.
+
+        The invariant checker asserts this never exceeds ``read_q_cap``.
+        """
+        return max(s.read_q_hiwat for s in self.subs)
+
+    def reset_stats(self) -> None:
+        """Zero counters and queue high watermarks (measurement boundary)."""
+        super().reset_stats()
+        for s in self.subs:
+            s.read_q_hiwat = len(s.reads)

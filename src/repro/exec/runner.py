@@ -52,6 +52,10 @@ class SweepJob:
     workload: str
     ops: Optional[int] = None
     seed: int = 1
+    #: Invariant-audit mode forwarded to ``simulate(validate=...)``:
+    #: None (env default) / "off" / "on" / "strict". Not part of the cache
+    #: key — validation observes a run, it does not change its results.
+    validate: Optional[str] = None
 
     def label(self) -> str:
         return f"{self.config.name}/{self.workload}/ops={self.ops}/seed={self.seed}"
@@ -81,7 +85,8 @@ def _simulate_job(job: SweepJob) -> Tuple[SimResult, float, int]:
 
     t0 = _time.perf_counter()
     result = simulate(job.config, get_workload(job.workload),
-                      ops_per_core=job.ops, seed=job.seed)
+                      ops_per_core=job.ops, seed=job.seed,
+                      validate=job.validate)
     wall = _time.perf_counter() - t0
     events = int(result.extras.get("events_fired", 0))
     return result, wall, events
@@ -89,7 +94,8 @@ def _simulate_job(job: SweepJob) -> Tuple[SimResult, float, int]:
 
 def expand_grid(configs: Sequence[str], workloads: Sequence[str],
                 ops: Optional[int] = None,
-                seeds: Sequence[int] = (1,)) -> List[SweepJob]:
+                seeds: Sequence[int] = (1,),
+                validate: Optional[str] = None) -> List[SweepJob]:
     """Build the (config x workload x seed) job list from config names."""
     jobs = []
     for c in configs:
@@ -98,7 +104,7 @@ def expand_grid(configs: Sequence[str], workloads: Sequence[str],
         cfg = ALL_CONFIGS[c]()
         for w in workloads:
             for s in seeds:
-                jobs.append(SweepJob(cfg, w, ops, s))
+                jobs.append(SweepJob(cfg, w, ops, s, validate=validate))
     return jobs
 
 
@@ -247,9 +253,10 @@ def run_sweep(configs: Sequence[str], workloads: Sequence[str],
               cache: Optional[ResultCache] = None,
               job_timeout_s: Optional[float] = None, retries: int = 1,
               progress: Optional[Callable[[int, int, JobResult], None]] = None,
+              validate: Optional[str] = None,
               ) -> List[JobResult]:
     """One-call grid sweep: expand, run, return ordered :class:`JobResult`\\ s."""
-    jobs = expand_grid(configs, workloads, ops, seeds)
+    jobs = expand_grid(configs, workloads, ops, seeds, validate=validate)
     runner = SweepRunner(workers=workers, cache=cache,
                          job_timeout_s=job_timeout_s, retries=retries,
                          progress=progress)

@@ -90,9 +90,36 @@ class MemRequest:
 
     @property
     def onchip_time(self) -> float:
-        """NoC + LLC time (everything not queuing, DRAM or CXL)."""
+        """NoC + LLC time (everything not queuing, DRAM or CXL).
+
+        Clamped at zero so aggregate breakdowns stay sane; a negative
+        residual is an accounting bug, which the clamp would silently
+        absorb — :mod:`repro.validate` reports it instead when enabled.
+        """
         rest = self.queuing_delay + self.dram_service + self.cxl_delay
         return max(0.0, self.total_latency - rest)
+
+    def timeline(self) -> dict:
+        """The full lifecycle as a plain JSON-serializable dict.
+
+        Used by the trace recorder and by invariant-violation reports to
+        name the exact request and its timestamps.
+        """
+        return {
+            "req_id": self.req_id,
+            "addr": self.addr,
+            "kind": self.kind,
+            "core_id": self.core_id,
+            "calm": self.calm,
+            "llc_hit": self.llc_hit,
+            "t_create": self.t_create,
+            "t_llc_done": self.t_llc_done,
+            "t_mc_enqueue": self.t_mc_enqueue,
+            "t_mc_issue": self.t_mc_issue,
+            "t_dram_done": self.t_dram_done,
+            "t_complete": self.t_complete,
+            "cxl_delay": self.cxl_delay,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kinds = {READ: "RD", WRITE: "WR", WRITEBACK: "WB"}

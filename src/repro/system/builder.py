@@ -93,6 +93,12 @@ class Chip(Component):
         self.meas_start = 0.0
         self.lat_records: List[Tuple[float, float, float, float, float]] = []
 
+        # Optional invariant checker (repro.validate). ``None`` keeps the
+        # hot path at one attribute test per hook site; ``simulate()``
+        # attaches a checker at the measurement boundary when validation
+        # is enabled.
+        self.checker = None
+
     # -- topology helpers ---------------------------------------------------------
     def core_tile(self, core_id: int) -> int:
         return core_id % self.mesh.n_tiles
@@ -142,6 +148,8 @@ class Chip(Component):
 
     def _send_to_memory(self, req: MemRequest, from_tile: int) -> None:
         """Route a read towards its memory port over the NoC."""
+        if self.checker is not None:
+            self.checker.on_mem_submit(req)
         pidx = self.port_of(req.addr)
         port = self.ports[pidx]
         req.user["port_tile"] = self.port_tiles[pidx]
@@ -184,6 +192,8 @@ class Chip(Component):
 
     def _mem_at_core(self, req: MemRequest) -> None:
         now = self.sim.now
+        if self.checker is not None:
+            self.checker.on_mem_response(req)
         state = req.user["llc_state"]
         if req.calm:
             if state == "hit":
@@ -206,9 +216,13 @@ class Chip(Component):
 
     def _complete(self, req: MemRequest) -> None:
         if req.user["completed"]:
+            if self.checker is not None:
+                self.checker.on_double_complete(req)
             return
         req.user["completed"] = True
         req.t_complete = self.sim.now
+        if self.checker is not None:
+            self.checker.on_complete(req)
         core: Core = req.user["core"]
         if (self.measuring and req.t_create >= self.meas_start
                 and not req.user.get("prefetch")):
@@ -264,8 +278,7 @@ class Chip(Component):
         for port in self.ports:
             if isinstance(port, CxlChannel):
                 port.reset_stats()
-                port.tx.bytes_moved = 0.0
-                port.rx.bytes_moved = 0.0
+                port.reset_link_counters()
         for s in self.llc_slices:
             s.reset_counters()
         for core in self.cores:

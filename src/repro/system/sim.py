@@ -106,6 +106,8 @@ def simulate(
     warmup_frac: float = 0.25,
     seed: int = 1,
     max_ns: float = 5e8,
+    validate: Union[bool, str, None] = None,
+    trace: Optional["object"] = None,
 ) -> SimResult:
     """Run one configuration against one workload.
 
@@ -122,7 +124,28 @@ def simulate(
         scaled by ``REPRO_SCALE``).
     warmup_frac:
         Leading fraction of each trace used to warm caches/predictors.
+    validate:
+        Invariant auditing (see :mod:`repro.validate`): ``True``/"on"
+        collects violations into ``extras["invariant_violations"]``,
+        ``"strict"`` raises on the first one, ``False``/"off" disables.
+        ``None`` defers to ``$REPRO_VALIDATE`` (``1`` / ``strict``).
+    trace:
+        Optional :class:`~repro.validate.TraceRecorder` filled with the
+        measured requests' timelines (implies ``validate="on"`` if
+        validation was otherwise off).
     """
+    from repro.validate import InvariantChecker, TraceRecorder, resolve_validate_mode
+
+    mode = resolve_validate_mode(validate)
+    if mode == "off" and trace is not None:
+        mode = "on"
+    checker = None
+    if mode != "off":
+        checker = InvariantChecker(
+            strict=(mode == "strict"),
+            trace=trace if trace is not None else TraceRecorder(),
+        )
+
     sim, chip = build_system(cfg)
     n_active = cfg.active_cores
 
@@ -168,7 +191,10 @@ def simulate(
     if remaining[0] != 0:
         raise RuntimeError(f"warmup did not drain within {max_ns} ns")
 
-    # Phase B: measurement.
+    # Phase B: measurement. The warmup phase drained completely above, so
+    # this is a clean boundary to start auditing request lifecycles.
+    if checker is not None:
+        chip.checker = checker
     chip.begin_measurement()
     t0 = sim.now
     remaining[0] = n_active
@@ -199,6 +225,16 @@ def simulate(
     cs = chip.calm.stats
     calm_total = cs.total
 
+    extras = {
+        "l2_misses": l2_misses,
+        "mem_writes": chip.stats.get("mem_writes", 0.0),
+        "calm_wasted_bytes": chip.stats.get("calm_wasted_bytes", 0.0),
+        "events_fired": float(sim.events_fired),
+    }
+    if checker is not None:
+        checker.finish(chip, elapsed)
+        extras["invariant_violations"] = checker.report()
+
     return SimResult(
         config_name=cfg.name,
         workload_name=wl_name,
@@ -222,10 +258,5 @@ def simulate(
         calm_false_pos_rate=cs.false_positive_rate,
         calm_false_neg_rate=cs.false_negative_rate,
         calm_fraction=(cs.calm_llc_hit + cs.calm_llc_miss) / calm_total if calm_total else 0.0,
-        extras={
-            "l2_misses": l2_misses,
-            "mem_writes": chip.stats.get("mem_writes", 0.0),
-            "calm_wasted_bytes": chip.stats.get("calm_wasted_bytes", 0.0),
-            "events_fired": float(sim.events_fired),
-        },
+        extras=extras,
     )

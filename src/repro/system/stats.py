@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -48,7 +48,18 @@ class SimResult:
     calm_false_neg_rate: float = 0.0
     calm_fraction: float = 0.0          # fraction of L2 misses that went CALM
 
-    extras: Dict[str, float] = field(default_factory=dict)
+    #: Free-form per-run extras. Mostly float counters; when validation is
+    #: enabled (see :mod:`repro.validate`) also holds the nested
+    #: ``"invariant_violations"`` report dict.
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def invariant_violation_count(self) -> Optional[int]:
+        """Violations found by the invariant checker, or None if it was off."""
+        report = self.extras.get("invariant_violations")
+        if report is None:
+            return None
+        return int(report.get("count", 0))
 
     @property
     def bandwidth_utilization(self) -> float:
@@ -84,7 +95,7 @@ def breakdown_from_records(records: List[tuple]) -> Dict[str, float]:
     if not records:
         return {"n": 0, "total": 0.0, "onchip": 0.0, "queuing": 0.0,
                 "dram": 0.0, "cxl": 0.0, "p90": 0.0}
-    arr = np.asarray(records)
+    arr = np.asarray(records, dtype=float)
     return {
         "n": len(arr),
         "total": float(arr[:, 0].mean()),

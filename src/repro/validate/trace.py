@@ -1,0 +1,113 @@
+"""Per-request trace recorder: a ring buffer of completed timelines.
+
+Each completed :class:`~repro.request.MemRequest` is flattened into one
+row carrying its identity (id, address, kind, core, CALM/LLC outcome)
+and every lifecycle timestamp. The buffer holds the most recent
+``capacity`` rows, so long runs stay bounded while a violation near the
+end of a run can still be matched to its full timeline.
+
+Export formats: JSONL (one timeline object per line, easy to grep/jq)
+and ``.npy`` (numpy structured array, easy to slice in analysis code).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.request import MemRequest
+
+#: Column order of one trace row (and of the exported structured array).
+TRACE_FIELDS = (
+    "req_id", "addr", "kind", "core_id", "calm", "llc_hit",
+    "t_create", "t_llc_done", "t_mc_enqueue", "t_mc_issue",
+    "t_dram_done", "t_complete", "cxl_delay",
+)
+
+_NUMPY_DTYPE = [
+    ("req_id", "i8"), ("addr", "u8"), ("kind", "i1"), ("core_id", "i4"),
+    ("calm", "?"), ("llc_hit", "i1"),  # -1 unknown / 0 miss / 1 hit
+    ("t_create", "f8"), ("t_llc_done", "f8"), ("t_mc_enqueue", "f8"),
+    ("t_mc_issue", "f8"), ("t_dram_done", "f8"), ("t_complete", "f8"),
+    ("cxl_delay", "f8"),
+]
+
+
+def timeline_of(req: MemRequest) -> Dict[str, Union[int, float, bool, None]]:
+    """One request's lifecycle as a plain dict (JSON-serializable)."""
+    return req.timeline()
+
+
+class TraceRecorder:
+    """Fixed-capacity ring buffer of completed-request timelines."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._rows: List[Dict] = []
+        self._next = 0            # ring write cursor once the buffer is full
+        self.recorded = 0         # total record() calls, including evicted
+
+    def record(self, req: MemRequest) -> None:
+        """Append one completed request (evicting the oldest when full)."""
+        row = timeline_of(req)
+        if len(self._rows) < self.capacity:
+            self._rows.append(row)
+        else:
+            self._rows[self._next] = row
+            self._next = (self._next + 1) % self.capacity
+        self.recorded += 1
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> List[Dict]:
+        """Retained timelines, oldest first."""
+        return self._rows[self._next:] + self._rows[:self._next]
+
+    def find(self, req_id: int) -> Optional[Dict]:
+        """The retained timeline of one request, if still in the buffer."""
+        for row in self._rows:
+            if row["req_id"] == req_id:
+                return row
+        return None
+
+    # -- export ----------------------------------------------------------------
+    def to_array(self) -> np.ndarray:
+        """The retained timelines as a numpy structured array (oldest first)."""
+        rows = self.rows()
+        arr = np.zeros(len(rows), dtype=_NUMPY_DTYPE)
+        for i, row in enumerate(rows):
+            vals = dict(row)
+            hit = vals["llc_hit"]
+            vals["llc_hit"] = -1 if hit is None else int(hit)
+            arr[i] = tuple(vals[f] for f in TRACE_FIELDS)
+        return arr
+
+    def export_jsonl(self, path: Union[str, Path]) -> Path:
+        """Write one JSON timeline per line; returns the path."""
+        path = Path(path)
+        with open(path, "w", encoding="utf-8") as fh:
+            for row in self.rows():
+                fh.write(json.dumps(row, sort_keys=True) + "\n")
+        return path
+
+    def export_npy(self, path: Union[str, Path]) -> Path:
+        """Write the structured array as ``.npy``; returns the path."""
+        path = Path(path)
+        np.save(path, self.to_array())
+        # np.save appends .npy when missing; report the real file.
+        return path if path.suffix == ".npy" else path.with_suffix(path.suffix + ".npy")
+
+    def export(self, path: Union[str, Path], fmt: Optional[str] = None) -> Path:
+        """Export by explicit format or by file suffix (default: jsonl)."""
+        fmt = fmt or ("npy" if str(path).endswith(".npy") else "jsonl")
+        if fmt == "jsonl":
+            return self.export_jsonl(path)
+        if fmt == "npy":
+            return self.export_npy(path)
+        raise ValueError(f"unknown trace format {fmt!r} (use jsonl or npy)")

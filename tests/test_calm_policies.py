@@ -154,3 +154,28 @@ class TestCalmStats:
         s.record(True, True)
         s.reset()
         assert s.total == 0
+
+
+class TestCalmRClockWiring:
+    """An unwired CalmR must fail loudly, not degenerate (satellite fix)."""
+
+    def test_decide_without_clock_raises(self):
+        p = CalmR(0.7)
+        with pytest.raises(RuntimeError, match="now_fn"):
+            p.decide(0x40, 0)
+
+    def test_factory_spec_without_clock_raises_on_decide(self):
+        p = make_calm_policy("calm_70")
+        with pytest.raises(RuntimeError, match="now_fn"):
+            p.decide(0x40, 0)
+
+    def test_factory_wires_clock(self):
+        clock = [0.0]
+        p = make_calm_policy("calm_70", peak_bandwidth_gbps=100.0,
+                             now_fn=lambda: clock[0])
+        assert p.decide(0x40, 0) in (True, False)
+
+    def test_construction_without_clock_is_fine(self):
+        # Building an unwired policy (e.g. just to read its name) is legal;
+        # only decide() needs the clock.
+        assert CalmR(0.6).name == "calm_60"

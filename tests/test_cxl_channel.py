@@ -98,3 +98,41 @@ class TestCxlType3Device:
         dev.submit(req)
         sim.run()
         assert done == [req]
+
+
+class TestDeviceChannelDecode:
+    """Device-local channel select must be uniform (satellite fix).
+
+    The raw double modulo ((addr >> 6) % system_channels) % n skews the
+    distribution whenever n does not divide system_channels (8 over 3
+    would load the local channels 3:3:2); the device now rounds the
+    interleave width up to a multiple of its channel count.
+    """
+
+    def test_width_rounded_up_to_multiple(self):
+        sim = Simulator()
+        dev = CxlType3Device(sim, "dev", n_ddr_channels=3, system_channels=8)
+        assert dev.system_channels == 9
+        # Already divisible: untouched.
+        dev2 = CxlType3Device(sim, "dev2", n_ddr_channels=2, system_channels=8)
+        assert dev2.system_channels == 8
+        # Degenerate standalone default keeps the old promotion to n.
+        dev3 = CxlType3Device(sim, "dev3", n_ddr_channels=3, system_channels=1)
+        assert dev3.system_channels == 3
+
+    def test_distribution_uniform_when_not_divisible(self):
+        sim = Simulator()
+        dev = CxlType3Device(sim, "dev", n_ddr_channels=3, system_channels=8)
+        # Lines covering the full (rounded) interleave pattern 4x over.
+        for g in range(9 * 4):
+            dev.submit(MemRequest(g * 64, READ, callback=lambda r: None))
+        counts = [c.read_queue_len() for c in dev.channels]
+        assert counts == [12, 12, 12]
+
+    def test_distribution_exact_when_divisible(self):
+        sim = Simulator()
+        dev = CxlType3Device(sim, "dev", n_ddr_channels=2, system_channels=8)
+        for g in range(8 * 5):
+            dev.submit(MemRequest(g * 64, READ, callback=lambda r: None))
+        counts = [c.read_queue_len() for c in dev.channels]
+        assert counts == [20, 20]

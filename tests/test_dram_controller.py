@@ -129,3 +129,74 @@ class TestDDRChannel:
         sim.run()
         refreshes = sum(r.refreshes_done for s in chan.subs for r in s.ranks)
         assert refreshes >= 1
+
+
+class TestReadQueueBackPressure:
+    """The read_q_cap bounds the scheduler-visible queue (satellite fix)."""
+
+    def test_overflow_beyond_cap(self):
+        sim = Simulator()
+        chan = DDRChannel(sim, "c")
+        cap = chan.read_q_cap
+        # Alias every read onto sub-channel 0 so one queue absorbs them all.
+        ok = [chan.enqueue(MemRequest(i * 128 * 997, READ,
+                                      callback=lambda r: None))
+              for i in range(cap + 12)]
+        sub = chan.subs[0]
+        assert len(sub.reads) == cap
+        assert len(sub.overflow) == 12
+        assert sub.read_queue_len == cap + 12
+        assert chan.read_queue_len() == cap + 12
+        # enqueue() reports back-pressure for exactly the deferred tail.
+        assert ok[:cap] == [True] * cap
+        assert ok[cap:] == [False] * 12
+        assert chan.stats["read_q_stalls"] == 12
+
+    def test_overflow_still_served_and_watermark_capped(self):
+        sim = Simulator()
+        chan = DDRChannel(sim, "c")
+        cap = chan.read_q_cap
+        done = []
+        for i in range(cap + 20):
+            chan.enqueue(MemRequest(i * 128 * 997, READ,
+                                    callback=lambda r: done.append(r)))
+        sim.run()
+        assert len(done) == cap + 20
+        assert chan.stats["num_rd"] == cap + 20
+        # The scheduler-visible queue never exceeded the cap.
+        assert chan.read_q_high_watermark() <= cap
+
+    def test_overflow_admitted_fifo(self):
+        sim = Simulator()
+        chan = DDRChannel(sim, "c")
+        cap = chan.read_q_cap
+        order = []
+        # Stride of two lines: everything on sub-channel 0, same bank and
+        # row, so FR-FCFS degenerates to strict FCFS and the completion
+        # order is deterministic.
+        reqs = [MemRequest(i * 128, READ,
+                           callback=lambda r: order.append(r.req_id))
+                for i in range(cap + 8)]
+        for r in reqs:
+            chan.enqueue(r)
+        sim.run()
+        # The back-pressured tail completes after the head of the queue
+        # (FIFO admission; same-bank-pattern addresses keep age order).
+        tail_ids = {r.req_id for r in reqs[cap:]}
+        assert set(order[-8:]) == tail_ids
+
+    def test_cap_validated(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            DDRChannel(sim, "c", read_q_cap=0)
+
+    def test_watermark_resets_with_stats(self):
+        sim = Simulator()
+        chan = DDRChannel(sim, "c")
+        for i in range(8):
+            chan.enqueue(MemRequest(i * 128 * 997, READ,
+                                    callback=lambda r: None))
+        assert chan.read_q_high_watermark() == 8
+        sim.run()
+        chan.reset_stats()
+        assert chan.read_q_high_watermark() == 0
