@@ -14,12 +14,16 @@ Runtime knobs
 """
 
 import os
+from pathlib import Path
 from typing import List
 
 import pytest
 
 from repro.workloads import workload_names
 from repro.workloads.catalog import REPRESENTATIVE
+
+#: The committed parity golden (repo-root relative to this file).
+PARITY_GOLDEN = Path(__file__).resolve().parent.parent / "goldens" / "parity.json"
 
 
 def bench_workloads() -> List[str]:
@@ -32,6 +36,43 @@ def bench_workloads() -> List[str]:
 def bench_ops() -> int:
     """Per-core memory operations per simulation."""
     return int(os.environ.get("REPRO_BENCH_OPS", "2500"))
+
+
+def parity_assert(metric_id: str, value: float) -> None:
+    """Golden assertion shared by the figure/table benches.
+
+    Always asserts the value lies inside the parity registry's sanity
+    band for ``metric_id`` (scale-robust, so it holds for any bench
+    workload subset / ops count). When the committed golden
+    (``goldens/parity.json``) was blessed at *exactly* this bench's
+    scale, additionally asserts the drift verdict versus the blessed
+    value is not ``fail``.
+    """
+    from repro.parity import GoldenError, get_metric, load_golden
+    from repro.parity.golden import golden_suite
+
+    m = get_metric(metric_id)
+    lo, hi = m.band
+    assert lo <= value <= hi, (
+        f"{metric_id} = {value:.4g} outside sanity band [{lo:g}, {hi:g}] "
+        f"(paper: {m.paper}); if the recalibration is intentional, update "
+        f"the registry band and re-bless the goldens")
+    try:
+        payload = load_golden(PARITY_GOLDEN)
+    except GoldenError:
+        return                      # no golden checked out: band check only
+    suite = golden_suite(payload)
+    if set(suite.workloads) != set(bench_workloads()) or suite.ops != bench_ops():
+        return                      # golden blessed at a different scale
+    entry = payload["metrics"].get(metric_id)
+    if entry is None:
+        return
+    golden = float(entry["value"])
+    verdict = m.tol.verdict(value, golden)
+    assert verdict != "fail", (
+        f"{metric_id} = {value:.4g} drifted beyond the fail tolerance from "
+        f"the blessed golden {golden:.4g}; re-bless via `repro parity bless` "
+        f"if intentional")
 
 
 @pytest.fixture

@@ -7,13 +7,10 @@ paper's pin argument predicts the answer: a 33% faster channel cannot
 compensate for 4x fewer channels on bandwidth-bound workloads.
 """
 
-import dataclasses
-
 from conftest import bench_ops
 
 from repro.analysis import format_table, geomean
-from repro.dram.timing import DDR5_4800, DDR5Timing
-from repro.system.builder import build_system
+from repro.dram.timing import DDR5Timing
 from repro.system.config import baseline_config, coaxial_config
 from repro.system.sim import simulate
 from repro.workloads import get_workload
@@ -29,7 +26,6 @@ def _simulate_with_timing(cfg, timing, wl, ops):
     The config doesn't carry a timing field, so this helper patches the
     default used by DDRChannel construction via a config-level rebuild.
     """
-    import repro.dram.controller as ctrl
     import repro.dram.timing as tmod
     orig = tmod.DDR5_4800
     tmod.DDR5_4800 = timing

@@ -5,7 +5,7 @@ Paper claims (DDR baseline, all 12 cores active): most workloads exceed
 average L2-miss latency across workloads; on-chip time is ~15%.
 """
 
-from conftest import bench_ops, bench_workloads
+from conftest import bench_ops, bench_workloads, parity_assert
 
 from repro.analysis import format_table
 from repro.analysis.tables import run_suite
@@ -37,6 +37,11 @@ def test_fig2b_breakdown(run_once):
     # Shape: most workloads load the channel; queuing dominates on average.
     assert util_over_30 >= len(results) * 0.6
     assert q_frac > 0.35
+    # Golden parity band for the per-workload mean queuing share.
+    shares = [r.avg_queuing / r.avg_miss_latency
+              for r in results if r.avg_miss_latency > 0]
+    parity_assert("fig2b.queuing_share.ddr-baseline",
+                  sum(shares) / len(shares))
     # Queuing exceeds DRAM service time for the bandwidth-hungry half.
     heavy = [r for r in results if r.bandwidth_utilization > 0.5]
     assert heavy and all(r.avg_queuing > r.avg_dram for r in heavy)

@@ -9,7 +9,7 @@ workloads lose performance; average bandwidth *utilization* drops (54% ->
 34%) despite higher absolute bandwidth use; queuing delay shrinks ~5x.
 """
 
-from conftest import bench_ops, bench_workloads
+from conftest import bench_ops, bench_workloads, parity_assert
 
 from repro.analysis import format_table, geomean
 from repro.analysis.tables import run_suite
@@ -61,6 +61,11 @@ def test_fig5_main(run_once):
     assert 0 < losers < len(speedups) / 2  # a minority loses
     assert cq < bq / 2.5                   # queuing collapses
     assert cu < bu                         # utilization drops despite more traffic
+    # Golden parity bands (goldens/parity.json via the registry).
+    parity_assert("fig5.geomean_speedup.coaxial-4x", gm)
+    parity_assert("fig5.queuing_reduction.coaxial-4x", bq / cq)
+    parity_assert("fig5.bw_utilization.ddr-baseline", bu)
+    parity_assert("fig5.bw_utilization.coaxial-4x", cu)
     total_b = sum(r.bandwidth_gbps for r in base.results.values())
     total_c = sum(r.bandwidth_gbps for r in coax.results.values())
     assert total_c > total_b               # absolute bandwidth use grows

@@ -10,7 +10,7 @@
     false negatives dominate false positives.
 """
 
-from conftest import bench_ops
+from conftest import bench_ops, parity_assert
 
 from repro.analysis import format_table, geomean
 from repro.analysis.tables import run_one
@@ -66,3 +66,7 @@ def test_fig7_calm(run_once):
     assert rel[("coaxial", "calm_70")] > rel[("coaxial", "ideal")] - 0.05
     # CALM_R thresholds are ordered sensibly.
     assert rel[("coaxial", "calm_70")] >= rel[("coaxial", "calm_50")] - 0.03
+    # Golden parity band: CALM_70 coverage of L2 misses on COAXIAL.
+    coverage = [res[("coaxial", "calm_70", w)].calm_fraction for w in WORKLOADS]
+    parity_assert("fig7.calm_coverage.coaxial-4x",
+                  sum(coverage) / len(coverage))

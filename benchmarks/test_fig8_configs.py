@@ -5,7 +5,7 @@ the LLC), COAXIAL-asym 1.52x (a further 13% over 4x), and no workload is
 hurt by asym's reduced write bandwidth relative to 4x.
 """
 
-from conftest import bench_ops, bench_workloads
+from conftest import bench_ops, bench_workloads, parity_assert
 
 from repro.analysis import format_table, geomean
 from repro.analysis.tables import run_suite
@@ -44,6 +44,9 @@ def test_fig8_configs(run_once):
     # Shape: asym > 4x > 2x > 1.
     assert gm["asym"] > gm["4x"] > gm["2x"]
     assert gm["2x"] > 1.0
+    # Golden parity bands for the per-config geomean speedups.
+    parity_assert("fig8.geomean_speedup.coaxial-2x", gm["2x"])
+    parity_assert("fig8.geomean_speedup.coaxial-asym", gm["asym"])
     # asym's reduced write bandwidth must not hurt anyone vs 4x (paper VI-C).
     worse = [w for w in base.results
              if suites["asym"][w].ipc < suites["4x"][w].ipc * 0.97]

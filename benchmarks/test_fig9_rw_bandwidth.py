@@ -5,7 +5,7 @@ suite is ~3.7:1; cam4 is the most write-intensive workload (approaching
 1:1); this asymmetry is what CXL-asym exploits.
 """
 
-from conftest import bench_ops, bench_workloads
+from conftest import bench_ops, bench_workloads, parity_assert
 
 from repro.analysis import format_table
 from repro.analysis.tables import run_suite
@@ -35,11 +35,11 @@ def test_fig9_rw_bandwidth(run_once):
     print(f"aggregate R:W ratio {agg:.1f}:1 (paper average: 3.7:1)")
 
     # Shape: reads dominate for every workload; the traffic-weighted
-    # aggregate sits in the 2:1 - 8:1 band the paper's analysis relies on
-    # (CXL-asym provisions 3.2:1 against it).
+    # aggregate sits inside the registry band the paper's analysis relies
+    # on (CXL-asym provisions 3.2:1 against it).
     assert all(r.read_bandwidth_gbps > r.write_bandwidth_gbps
                for r in suite.results.values())
-    assert 2.0 < agg < 8.0
+    parity_assert("fig9.rw_bandwidth_ratio.ddr-baseline", agg)
     # cam4 (stencil, write-heavy) must sit at the write-intensive end.
     if "cam4" in ratios:
         assert ratios["cam4"] < agg * 2

@@ -6,7 +6,7 @@ power (646 W -> 931 W) but wins EDP by 25% and ED^2P by 47%, with ~96% of
 the baseline's perf/W.
 """
 
-from conftest import bench_ops, bench_workloads
+from conftest import bench_ops, bench_workloads, parity_assert
 
 from repro.analysis import format_table
 from repro.analysis.tables import run_suite
@@ -61,3 +61,6 @@ def test_tab5_power(run_once):
     assert coax_e.ed2p / base_e.ed2p < coax_e.edp / base_e.edp
     # perf/W stays within ~25% of the baseline (paper: 96%).
     assert coax_e.perf_per_watt / base_e.perf_per_watt > 0.7
+    # Golden parity bands for the efficiency ratios.
+    parity_assert("tab5.edp_ratio.coaxial-4x", coax_e.edp / base_e.edp)
+    parity_assert("tab5.ed2p_ratio.coaxial-4x", coax_e.ed2p / base_e.ed2p)

@@ -7,7 +7,7 @@ any terminal/CI log without a plotting stack.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
 
 
 def bar_chart(values: Mapping[str, float], width: int = 50,

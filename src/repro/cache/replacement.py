@@ -15,7 +15,7 @@ the set dict and maintain whatever recency state they need.
 from __future__ import annotations
 
 import random
-from typing import Dict, Hashable, Optional
+from typing import Dict, Hashable
 
 
 class LRUPolicy:

@@ -10,7 +10,7 @@ Decision outcomes, in the paper's terminology:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

@@ -12,6 +12,10 @@ Examples
     python -m repro area
     python -m repro power --base-cpi 2.05 --coax-cpi 1.48
     python -m repro cost --capacity 3072
+    python -m repro parity run
+    python -m repro parity compare --strict --report parity-report.md
+    python -m repro parity bless
+    python -m repro bench compare --bench BENCH_sweep.json
 """
 
 from __future__ import annotations
@@ -141,7 +145,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     import time
 
     from repro.exec.cache import ResultCache, disk_cache_enabled
-    from repro.exec.perf import bench_record, format_summary, write_bench
+    from repro.exec.perf import (
+        BaselineProtectedError, bench_record, format_summary, write_bench,
+    )
     from repro.exec.runner import (
         default_workers, expand_grid, print_progress, SweepRunner,
     )
@@ -197,7 +203,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print()
     for line in format_summary(record):
         print(line)
-    out = write_bench(record, args.bench_out)
+    try:
+        out = write_bench(record, args.bench_out, force=args.force)
+    except BaselineProtectedError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
     print(f"benchmark record written to {out}")
 
     failed = [r for r in results if r.result is None]
@@ -211,6 +221,149 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"INVARIANT VIOLATIONS: {r.job.label()}: "
               f"{r.result.invariant_violation_count}", file=sys.stderr)
     return 1 if failed or dirty else 0
+
+
+def _parity_suite(args: argparse.Namespace):
+    """Build a ParitySuite from CLI flags (all five config families)."""
+    from repro.parity import ParitySuite
+    from repro.parity.registry import DEFAULT_OPS, DEFAULT_SEED, DEFAULT_WORKLOADS
+
+    if args.workloads.lower() == "default":
+        workloads = DEFAULT_WORKLOADS
+    else:
+        workloads = tuple(_parse_list(args.workloads))
+    return ParitySuite(
+        workloads=workloads,
+        ops=args.ops if args.ops is not None else DEFAULT_OPS,
+        seed=args.seed if args.seed is not None else DEFAULT_SEED)
+
+
+def _parity_progress(msg: str) -> None:
+    print(f"  {msg}", file=sys.stderr)
+
+
+def cmd_parity_run(args: argparse.Namespace) -> int:
+    """Evaluate every registry metric; gate only on the sanity bands."""
+    import json as _json
+
+    from repro.parity import REGISTRY, evaluate
+
+    suite = _parity_suite(args)
+    measured = evaluate(suite, workers=args.jobs,
+                        progress=None if args.quiet else _parity_progress)
+    rows = []
+    out_of_band = []
+    for m in REGISTRY:
+        v = measured[m.id]
+        ok = m.in_band(v)
+        if not ok:
+            out_of_band.append(m.id)
+        rows.append([m.id, f"{v:.4g}",
+                     "-" if m.paper is None else f"{m.paper:g}",
+                     m.unit, "ok" if ok else "OUT OF BAND"])
+    print(format_table(["metric", "measured", "paper", "unit", "band"], rows))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(measured, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"measured values written to {args.json}")
+    if out_of_band:
+        print(f"{len(out_of_band)} metric(s) outside their sanity band: "
+              f"{', '.join(out_of_band)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_parity_bless(args: argparse.Namespace) -> int:
+    """Regenerate the golden file from a fresh evaluation (intentional)."""
+    from repro.parity import (
+        GoldenError, compare, evaluate, golden_payload, load_golden,
+        write_golden,
+    )
+
+    suite = _parity_suite(args)
+    measured = evaluate(suite, workers=args.jobs,
+                        progress=None if args.quiet else _parity_progress)
+    try:
+        previous = load_golden(args.golden)
+    except GoldenError:
+        previous = None
+    if previous is not None:
+        drifted = [v for v in compare(measured, previous)
+                   if v.status not in ("pass", "stale")]
+        for v in drifted:
+            print(f"  re-blessing {v.id}: {v.golden} -> "
+                  f"{v.measured:.6g} ({v.status})")
+    out = write_golden(golden_payload(measured, suite), args.golden)
+    print(f"blessed {len(measured)} metrics -> {out}")
+    return 0
+
+
+def cmd_parity_compare(args: argparse.Namespace) -> int:
+    """Gate a fresh evaluation against the committed golden file."""
+    from repro.parity import (
+        GoldenError, compare, evaluate, load_golden, render_report,
+        worst_status,
+    )
+    from repro.parity.golden import golden_suite
+
+    try:
+        payload = load_golden(args.golden)
+    except GoldenError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    # Always evaluate at the scale the golden was blessed at — drift
+    # verdicts are meaningless across scales.
+    suite = golden_suite(payload)
+    measured = evaluate(suite, workers=args.jobs,
+                        progress=None if args.quiet else _parity_progress)
+    verdicts = compare(measured, payload)
+    report = render_report(verdicts, suite)
+    print(report)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(report)
+        print(f"drift report written to {args.report}")
+    rc = worst_status(verdicts, strict=args.strict)
+    if rc:
+        print("parity gate FAILED", file=sys.stderr)
+    return rc
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    """Perf gate: fresh sweep events/s versus the committed baseline."""
+    from repro.parity import (
+        GoldenError, compare_bench, load_bench_baseline, load_bench_record,
+    )
+
+    try:
+        fresh = load_bench_record(args.bench)
+        baseline = load_bench_baseline(args.golden)
+        verdict = compare_bench(fresh, baseline,
+                                warn=args.warn, fail=args.fail)
+    except (GoldenError, ValueError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    print(verdict.summary())
+    if verdict.status == "fail":
+        return 1
+    if verdict.status == "warn" and args.strict:
+        return 1
+    return 0
+
+
+def cmd_bench_bless(args: argparse.Namespace) -> int:
+    """Commit a sweep record as the new perf baseline (intentional)."""
+    from repro.parity import GoldenError, bless_bench, load_bench_record
+
+    try:
+        record = load_bench_record(args.bench)
+        out = bless_bench(record, args.golden, force=args.force)
+    except GoldenError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    print(f"perf baseline blessed -> {out}")
+    return 0
 
 
 def cmd_curve(args: argparse.Namespace) -> int:
@@ -337,12 +490,79 @@ def build_parser() -> argparse.ArgumentParser:
                     help="drop cached results before running")
     ps.add_argument("--bench-out", default="BENCH_sweep.json",
                     help="where to write the benchmark record")
+    ps.add_argument("--force", action="store_true",
+                    help="allow overwriting a committed perf baseline")
     ps.add_argument("--quiet", action="store_true",
                     help="suppress the per-job progress ticker")
     ps.add_argument("--validate", default=None,
                     choices=["off", "on", "strict"],
                     help="invariant auditing per job (cache hits skip it)")
     ps.set_defaults(fn=cmd_sweep)
+
+    pp = sub.add_parser(
+        "parity", help="paper-parity golden metrics: run / compare / bless")
+    psub = pp.add_subparsers(dest="parity_command", required=True)
+
+    def _add_parity_suite_args(sp, with_suite=True):
+        if with_suite:
+            sp.add_argument("--workloads", default="default",
+                            help="comma list, or 'default' (the registry suite)")
+            sp.add_argument("--ops", type=int, default=None,
+                            help="memory ops per core (default: registry scale)")
+            sp.add_argument("--seed", type=int, default=None)
+        sp.add_argument("--jobs", type=int, default=1,
+                        help="process-pool workers for uncached runs")
+        sp.add_argument("--quiet", action="store_true",
+                        help="suppress per-config progress on stderr")
+
+    ppr = psub.add_parser(
+        "run", help="measure every registry metric (sanity-band gate only)")
+    _add_parity_suite_args(ppr)
+    ppr.add_argument("--json", default=None,
+                     help="also dump measured values as JSON to this path")
+    ppr.set_defaults(fn=cmd_parity_run)
+
+    ppc = psub.add_parser(
+        "compare", help="gate a fresh evaluation against the committed golden")
+    _add_parity_suite_args(ppc, with_suite=False)
+    ppc.add_argument("--golden", default="goldens/parity.json")
+    ppc.add_argument("--strict", action="store_true",
+                     help="treat warn/new/stale verdicts as failures")
+    ppc.add_argument("--report", default=None,
+                     help="write the markdown drift report to this path")
+    ppc.set_defaults(fn=cmd_parity_compare)
+
+    ppb = psub.add_parser(
+        "bless", help="regenerate the golden file (intentional recalibration)")
+    _add_parity_suite_args(ppb)
+    ppb.add_argument("--golden", default="goldens/parity.json")
+    ppb.set_defaults(fn=cmd_parity_bless)
+
+    pb = sub.add_parser(
+        "bench", help="events-per-second perf gate: compare / bless")
+    bsub = pb.add_subparsers(dest="bench_command", required=True)
+
+    pbc = bsub.add_parser(
+        "compare", help="gate a fresh BENCH_sweep.json against the baseline")
+    pbc.add_argument("--bench", default="BENCH_sweep.json",
+                     help="fresh sweep record to grade")
+    pbc.add_argument("--golden", default="goldens/bench.json",
+                     help="committed perf baseline")
+    pbc.add_argument("--warn", type=float, default=0.20,
+                     help="slowdown warn band (default 20%%)")
+    pbc.add_argument("--fail", type=float, default=0.35,
+                     help="slowdown fail band (default 35%%)")
+    pbc.add_argument("--strict", action="store_true",
+                     help="treat a warn-band slowdown as failure")
+    pbc.set_defaults(fn=cmd_bench_compare)
+
+    pbb = bsub.add_parser(
+        "bless", help="commit a sweep record as the new perf baseline")
+    pbb.add_argument("--bench", default="BENCH_sweep.json")
+    pbb.add_argument("--golden", default="goldens/bench.json")
+    pbb.add_argument("--force", action="store_true",
+                     help="overwrite an existing committed baseline")
+    pbb.set_defaults(fn=cmd_bench_bless)
 
     pv = sub.add_parser("curve", help="DDR load-latency curve (Fig 2a)")
     pv.add_argument("--loads", default="0.1,0.3,0.5,0.6")

@@ -16,7 +16,7 @@ so the workload calibration against Table IV is unaffected; enable via
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 LINE = 64
 

@@ -12,7 +12,7 @@ A trace is a numpy structured array with one record per memory operation:
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 

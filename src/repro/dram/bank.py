@@ -8,7 +8,7 @@ spacing (tRRD) and refresh (tREFI/tRFC) blackout windows.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.dram.timing import DDR5Timing
 

@@ -11,7 +11,6 @@ pathological bank conflicts for power-of-two strides.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 LINE_BYTES = 64
 LINE_SHIFT = 6

@@ -10,7 +10,7 @@ utilization and p90 rising considerably faster.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

@@ -9,9 +9,11 @@ CLI subcommand exposes grid runs directly.
 """
 
 from repro.exec.cache import ResultCache, job_key
+from repro.exec.perf import BaselineProtectedError, is_committed_baseline
 from repro.exec.runner import SweepJob, JobResult, SweepRunner, run_sweep
 
 __all__ = [
     "ResultCache", "job_key",
     "SweepJob", "JobResult", "SweepRunner", "run_sweep",
+    "BaselineProtectedError", "is_committed_baseline",
 ]

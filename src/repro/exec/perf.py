@@ -36,6 +36,25 @@ BENCH_SCHEMA_VERSION = 1
 BENCH_FILENAME = "BENCH_sweep.json"
 
 
+class BaselineProtectedError(RuntimeError):
+    """Refusing to overwrite a committed perf baseline without force.
+
+    Baseline files (written by ``repro bench bless``) carry a
+    ``"baseline": true`` marker; a plain sweep must never silently
+    replace one — the perf trajectory would lose its reference point.
+    """
+
+
+def is_committed_baseline(path: os.PathLike) -> bool:
+    """Whether ``path`` holds a blessed baseline (``"baseline": true``)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return False
+    return isinstance(payload, dict) and bool(payload.get("baseline"))
+
+
 def job_record(jr: JobResult) -> Dict[str, Any]:
     """Flatten one job result into the benchmark schema."""
     return {
@@ -78,9 +97,18 @@ def bench_record(results: Sequence[JobResult], total_wall_s: float,
     }
 
 
-def write_bench(record: Dict[str, Any], path: Optional[os.PathLike] = None) -> Path:
-    """Atomically write the benchmark record; returns the file path."""
+def write_bench(record: Dict[str, Any], path: Optional[os.PathLike] = None,
+                force: bool = False) -> Path:
+    """Atomically write the benchmark record; returns the file path.
+
+    Refuses to overwrite a committed baseline (a file blessed by
+    ``repro bench bless``) unless ``force`` is set.
+    """
     out = Path(path) if path is not None else Path(BENCH_FILENAME)
+    if not force and out.exists() and is_committed_baseline(out):
+        raise BaselineProtectedError(
+            f"{out} is a committed perf baseline; use --force to overwrite "
+            f"it, or write the sweep record elsewhere (--bench-out)")
     out.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=out.parent, suffix=".tmp")
     try:

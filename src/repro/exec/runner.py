@@ -19,7 +19,7 @@ import os
 import sys
 import time as _time
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.exec.cache import ResultCache

@@ -1,0 +1,37 @@
+"""Paper-parity golden-metrics harness.
+
+- :mod:`repro.parity.registry` — declarative registry of paper claims
+  (per-figure/table metric extractors over simulated grids)
+- :mod:`repro.parity.evaluate` — reduced-scale evaluation via the cached
+  suite runner
+- :mod:`repro.parity.golden`   — golden baselines: bless/load/compare with
+  pass/warn/fail tolerance verdicts and drift reports
+- :mod:`repro.parity.bench`    — events-per-second perf gate against the
+  committed ``goldens/bench.json`` baseline
+
+CLI: ``repro parity run|compare|bless`` and ``repro bench compare|bless``.
+"""
+
+from repro.parity.bench import (
+    BenchVerdict, bless_bench, compare_bench, load_bench_baseline,
+    load_bench_record,
+)
+from repro.parity.evaluate import build_context, evaluate
+from repro.parity.golden import (
+    GoldenError, Verdict, compare, golden_payload, load_golden,
+    render_report, worst_status, write_golden,
+)
+from repro.parity.registry import (
+    METRICS, REGISTRY, ParityContext, ParityMetric, ParitySuite, Tolerance,
+    get_metric,
+)
+
+__all__ = [
+    "METRICS", "REGISTRY", "ParityContext", "ParityMetric", "ParitySuite",
+    "Tolerance", "get_metric",
+    "build_context", "evaluate",
+    "GoldenError", "Verdict", "compare", "golden_payload", "load_golden",
+    "render_report", "worst_status", "write_golden",
+    "BenchVerdict", "bless_bench", "compare_bench", "load_bench_baseline",
+    "load_bench_record",
+]

@@ -10,11 +10,11 @@ when the LLC response has arrived, using memory data on an LLC miss).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.engine import Component, Simulator
 from repro.cache.cache import CacheArray, CacheLevel, LINE_BYTES
-from repro.calm.policy import CalmPolicy, IdealPredictor, make_calm_policy
+from repro.calm.policy import IdealPredictor, make_calm_policy
 from repro.cpu.core import Core, CoreParams
 from repro.cxl.channel import CxlChannel
 from repro.dram.controller import DDRChannel

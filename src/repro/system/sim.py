@@ -10,11 +10,10 @@ over each core's own measured span, averaged across active cores.
 from __future__ import annotations
 
 import os
-from typing import List, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from repro.engine import Simulator
 from repro.cpu.trace import Trace
 from repro.system.builder import Chip, build_system
 from repro.system.config import SystemConfig

@@ -37,7 +37,7 @@ into a report for ``SimResult.extras["invariant_violations"]``.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.request import MemRequest, READ

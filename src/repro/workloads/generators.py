@@ -16,11 +16,10 @@ reproducible and per-core seeds decorrelate the cores' access streams.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
-from repro.cpu.trace import Trace, TRACE_DTYPE, make_trace
+from repro.cpu.trace import Trace, make_trace
 
 LINE = 64
 _PAGE_SHIFT = 12

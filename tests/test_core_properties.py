@@ -1,7 +1,6 @@
 """Property-based tests on the out-of-order core's timing invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.engine import Simulator

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cxl.link import CxlLinkParams, SerialLink, X8_CXL, X8_CXL_ASYM, OMI_LIKE
+from repro.cxl.link import SerialLink, X8_CXL, X8_CXL_ASYM, OMI_LIKE
 
 
 class TestCxlLinkParams:

@@ -4,7 +4,6 @@ import pytest
 
 from repro.engine import Simulator
 from repro.dram.controller import DDRChannel
-from repro.dram.timing import DDR5_4800 as TM
 from repro.request import MemRequest, READ, WRITE
 
 
@@ -36,7 +35,7 @@ class TestDDRChannel:
     def test_all_reads_complete(self):
         _, _, lats, _ = run_reads([i * 64 * 977 for i in range(50)])
         assert len(lats) == 50
-        assert all(l > 0 for l in lats)
+        assert all(lat > 0 for lat in lats)
 
     def test_row_hits_faster_than_conflicts(self):
         # Same row back to back vs alternating rows in one bank.

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dram.mapping import AddressMapping, DramCoord
+from repro.dram.mapping import AddressMapping
 
 
 class TestAddressMapping:

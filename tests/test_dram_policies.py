@@ -4,7 +4,7 @@ write drain, and refresh interaction."""
 import pytest
 
 from repro.engine import Simulator
-from repro.dram.controller import DDRChannel, _SubChannel
+from repro.dram.controller import DDRChannel
 from repro.dram.timing import DDR5_4800 as TM
 from repro.request import MemRequest, READ, WRITE
 
@@ -114,5 +114,5 @@ class TestRefreshUnderLoad:
             sim.schedule_at(i * 100.0, chan.enqueue, req)
         sim.run()
         # Most are fast, a few were parked behind a ~295 ns tRFC window.
-        slow = [l for l in lat if l > 200.0]
+        slow = [x for x in lat if x > 200.0]
         assert 0 < len(slow) < len(lat) // 2

@@ -4,7 +4,7 @@ import pytest
 
 from repro.engine import Simulator
 from repro.dram.controller import DDRChannel
-from repro.dram.power import DramPowerParams, channel_energy_nj, average_power_w
+from repro.dram.power import channel_energy_nj, average_power_w
 from repro.request import MemRequest, READ, WRITE
 
 

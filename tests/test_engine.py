@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine import Event, EventQueue, Simulator, Component
+from repro.engine import EventQueue, Simulator, Component
 
 
 class TestEventQueue:

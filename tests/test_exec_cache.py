@@ -3,7 +3,6 @@
 import dataclasses
 import json
 
-import pytest
 
 from repro.exec.cache import (
     ResultCache, config_fingerprint, default_cache_dir, job_digest, job_key,

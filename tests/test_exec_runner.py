@@ -4,7 +4,7 @@ import pytest
 
 from repro.exec.cache import ResultCache
 from repro.exec.runner import (
-    JobResult, SweepJob, SweepRunner, default_workers, expand_grid, run_sweep,
+    SweepJob, SweepRunner, default_workers, expand_grid, run_sweep,
 )
 from repro.system.config import baseline_config
 

@@ -1,0 +1,172 @@
+"""Golden file round trips, malformed-golden handling, verdict grading."""
+
+import json
+
+import pytest
+
+from repro.parity import (
+    GoldenError, REGISTRY, ParitySuite, compare, golden_payload, load_golden,
+    render_report, worst_status, write_golden,
+)
+from repro.parity.golden import GOLDEN_SCHEMA_VERSION, Verdict, golden_suite
+
+SUITE = ParitySuite(workloads=("mcf", "gcc"), ops=300, seed=1)
+
+
+def fresh_values():
+    """One plausible value per registry metric."""
+    return {m.id: (m.paper if m.paper is not None
+                   else (m.band[0] + m.band[1]) / 2)
+            for m in REGISTRY}
+
+
+class TestRoundTrip:
+    def test_bless_then_load(self, tmp_path):
+        values = fresh_values()
+        path = tmp_path / "parity.json"
+        write_golden(golden_payload(values, SUITE), path)
+        payload = load_golden(path)
+        assert golden_suite(payload) == SUITE
+        for mid, v in values.items():
+            assert payload["metrics"][mid]["value"] == pytest.approx(v, rel=1e-5)
+
+    def test_compare_after_bless_all_pass(self, tmp_path):
+        values = fresh_values()
+        path = tmp_path / "parity.json"
+        write_golden(golden_payload(values, SUITE), path)
+        verdicts = compare(values, load_golden(path))
+        assert verdicts and all(v.status == "pass" for v in verdicts)
+        assert worst_status(verdicts) == 0
+        assert worst_status(verdicts, strict=True) == 0
+
+    def test_payload_records_paper_and_unit(self):
+        payload = golden_payload(fresh_values(), SUITE)
+        entry = payload["metrics"]["fig5.geomean_speedup.coaxial-4x"]
+        assert entry["paper"] == 1.39
+        assert entry["unit"] == "x"
+        assert entry["figure"] == "Fig. 5"
+
+
+class TestMalformedGoldens:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(GoldenError, match="not found"):
+            load_golden(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{broken")
+        with pytest.raises(GoldenError, match="not valid JSON"):
+            load_golden(p)
+
+    def test_non_object_top_level(self, tmp_path):
+        p = tmp_path / "list.json"
+        p.write_text("[1, 2]")
+        with pytest.raises(GoldenError, match="must be an object"):
+            load_golden(p)
+
+    def test_wrong_schema(self, tmp_path):
+        payload = golden_payload(fresh_values(), SUITE)
+        payload["schema"] = GOLDEN_SCHEMA_VERSION + 1
+        p = tmp_path / "schema.json"
+        p.write_text(json.dumps(payload))
+        with pytest.raises(GoldenError, match="re-bless"):
+            load_golden(p)
+
+    def test_no_metrics(self, tmp_path):
+        payload = golden_payload(fresh_values(), SUITE)
+        payload["metrics"] = {}
+        p = tmp_path / "empty.json"
+        p.write_text(json.dumps(payload))
+        with pytest.raises(GoldenError, match="no 'metrics'"):
+            load_golden(p)
+
+    def test_non_numeric_value(self, tmp_path):
+        payload = golden_payload(fresh_values(), SUITE)
+        payload["metrics"]["fig5.geomean_speedup.coaxial-4x"]["value"] = "1.4"
+        p = tmp_path / "str.json"
+        p.write_text(json.dumps(payload))
+        with pytest.raises(GoldenError, match="no numeric 'value'"):
+            load_golden(p)
+
+    def test_bad_suite_spec(self, tmp_path):
+        payload = golden_payload(fresh_values(), SUITE)
+        payload["suite"] = {"configs": ["ddr-baseline"]}
+        p = tmp_path / "suite.json"
+        p.write_text(json.dumps(payload))
+        with pytest.raises(GoldenError, match="bad 'suite'"):
+            load_golden(p)
+
+
+class TestVerdicts:
+    def _payload(self, values):
+        return golden_payload(values, SUITE)
+
+    def test_warn_and_fail_detected(self):
+        values = fresh_values()
+        payload = self._payload(values)
+        mid = "fig5.geomean_speedup.coaxial-4x"
+        m = next(m for m in REGISTRY if m.id == mid)
+        warn_values = dict(values)
+        warn_values[mid] = values[mid] * (1 + (m.tol.rel_warn + m.tol.rel_fail) / 2)
+        by_id = {v.id: v for v in compare(warn_values, payload)}
+        assert by_id[mid].status == "warn"
+        fail_values = dict(values)
+        fail_values[mid] = values[mid] * (1 + 2 * m.tol.rel_fail)
+        by_id = {v.id: v for v in compare(fail_values, payload)}
+        assert by_id[mid].status == "fail"
+        assert worst_status(list(by_id.values())) == 1
+
+    def test_out_of_band_fails_even_near_golden(self):
+        # A golden blessed outside the sanity band must still fail.
+        values = fresh_values()
+        mid = "fig8.geomean_speedup.coaxial-2x"
+        m = next(m for m in REGISTRY if m.id == mid)
+        values[mid] = m.band[1] + 1.0
+        payload = self._payload(values)
+        by_id = {v.id: v for v in compare(values, payload)}
+        assert by_id[mid].status == "fail"
+        assert "sanity band" in by_id[mid].note
+
+    def test_new_metric_warns_only_under_strict(self):
+        values = fresh_values()
+        payload = self._payload(values)
+        del payload["metrics"]["tab5.edp_ratio.coaxial-4x"]
+        verdicts = compare(values, payload)
+        by_id = {v.id: v for v in verdicts}
+        assert by_id["tab5.edp_ratio.coaxial-4x"].status == "new"
+        assert worst_status(verdicts) == 0
+        assert worst_status(verdicts, strict=True) == 1
+
+    def test_stale_golden_entry_reported(self):
+        values = fresh_values()
+        payload = self._payload(values)
+        payload["metrics"]["fig99.retired_metric"] = {"value": 1.0}
+        verdicts = compare(values, payload)
+        stale = [v for v in verdicts if v.status == "stale"]
+        assert [v.id for v in stale] == ["fig99.retired_metric"]
+
+    def test_drift_properties(self):
+        v = Verdict(id="x", status="warn", measured=1.1, golden=1.0)
+        assert v.drift_abs == pytest.approx(0.1)
+        assert v.drift_rel == pytest.approx(0.1)
+        assert Verdict(id="y", status="stale", golden=1.0).drift_rel is None
+
+
+class TestReport:
+    def test_report_contains_all_verdicts_and_summary(self):
+        values = fresh_values()
+        payload = golden_payload(values, SUITE)
+        verdicts = compare(values, payload)
+        report = render_report(verdicts, SUITE)
+        assert report.startswith("# Parity drift report")
+        assert f"{len(verdicts)} pass" in report
+        for v in verdicts:
+            assert v.id in report
+
+    def test_report_shows_failures(self):
+        values = fresh_values()
+        payload = golden_payload(values, SUITE)
+        mid = "fig5.geomean_speedup.coaxial-4x"
+        values[mid] = values[mid] * 2
+        report = render_report(compare(values, payload), SUITE)
+        assert "FAIL" in report

@@ -87,7 +87,6 @@ class TestIntegration:
 
     def test_prefetch_traffic_counted_separately(self):
         wl = get_workload("stream-copy")
-        from repro.system.builder import build_system
         cfg = baseline_config(active_cores=1, prefetcher="nextline",
                               name="base-pf2")
         r = simulate(cfg, wl, ops_per_core=800)

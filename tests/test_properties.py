@@ -6,10 +6,9 @@ from hypothesis import given, settings, strategies as st
 
 from repro.cache.cache import CacheArray
 from repro.cache.mshr import MSHRFile
-from repro.cpu.trace import TRACE_DTYPE, Trace
 from repro.cxl.link import SerialLink
 from repro.dram.mapping import AddressMapping
-from repro.engine import EventQueue, Simulator
+from repro.engine import EventQueue
 from repro.workloads.generators import _page_scatter
 
 lines = st.integers(min_value=0, max_value=(1 << 30))
@@ -138,8 +137,8 @@ class TestMappingProperties:
     def test_distinct_lines_distinct_or_same_coords_consistent(self, ls):
         """decode is deterministic."""
         m = AddressMapping(channels=4)
-        for l in ls:
-            assert m.decode(l * 64) == m.decode(l * 64)
+        for ln in ls:
+            assert m.decode(ln * 64) == m.decode(ln * 64)
 
 
 class TestSerialLinkProperties:

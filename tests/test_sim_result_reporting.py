@@ -1,6 +1,5 @@
 """Reporting-path tests: SimResult derived metrics under edge conditions."""
 
-import pytest
 
 from repro.system.stats import SimResult
 

@@ -4,8 +4,7 @@ import pytest
 
 from repro.cxl.channel import CxlChannel
 from repro.dram.controller import DDRChannel
-from repro.request import MemRequest, READ
-from repro.system.builder import Chip, build_system
+from repro.system.builder import build_system
 from repro.system.config import baseline_config, coaxial_asym_config, coaxial_config
 
 

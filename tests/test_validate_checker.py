@@ -269,7 +269,7 @@ class TestTraceRecorder:
         rec.record(make_miss_req())
         rec.record(make_hit_req())
         out = rec.export(tmp_path / "t.jsonl")
-        lines = [json.loads(l) for l in out.read_text().splitlines()]
+        lines = [json.loads(ln) for ln in out.read_text().splitlines()]
         assert len(lines) == 2
         assert lines[1]["llc_hit"] is True
 
