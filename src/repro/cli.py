@@ -366,6 +366,103 @@ def cmd_bench_bless(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz_run(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.fuzz.harness import FuzzRunner
+
+    log = (lambda msg: None) if args.quiet else \
+        (lambda msg: print(msg, file=sys.stderr))
+    runner = FuzzRunner(
+        trials=args.trials, seed=args.seed,
+        oracles=_parse_list(args.oracles) if args.oracles else None,
+        workers=args.jobs, time_budget_s=args.time_budget,
+        shrink_failures=not args.no_shrink,
+        max_shrink_probes=args.max_shrink_probes,
+        corpus_dir=Path(args.corpus) if args.corpus else None,
+        log=log,
+    )
+    report = runner.run()
+    status = "CLEAN" if report.ok else "FAILURES"
+    print(f"fuzz {status}: {report.checks_passed}/{report.checks_run} checks "
+          f"passed over {report.trials} cases in {report.elapsed_s:.1f}s"
+          + (" (time budget hit)" if report.time_exhausted else ""))
+    for f in report.failures:
+        rc = f.shrunk.case if f.shrunk else f.case
+        print(f"  FAIL {f.oracle}: {rc.label()}")
+        print(f"       {f.shrunk.detail if f.shrunk else f.detail}")
+        if f.corpus_path:
+            print(f"       reproducer: {f.corpus_path}")
+    for e in report.errors:
+        print(f"  ERROR {e}")
+    return 0 if report.ok else 1
+
+
+def cmd_fuzz_replay(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.fuzz.corpus import load_corpus, replay_entry
+
+    corpus_dir = Path(args.corpus) if args.corpus else None
+    entries = list(load_corpus(corpus_dir))
+    if args.only:
+        wanted = set(_parse_list(args.only))
+        entries = [e for e in entries if e.name in wanted]
+    if not entries:
+        print("no corpus entries to replay")
+        return 0
+    failed = 0
+    for entry in entries:
+        detail = replay_entry(entry)
+        tag = "ok  " if detail is None else "FAIL"
+        print(f"  {tag} {entry.name} [{entry.oracle}] {entry.case.label()}")
+        if detail is not None:
+            failed += 1
+            print(f"       {detail}")
+    print(f"replayed {len(entries)} entries, {failed} regression(s)")
+    return 1 if failed else 0
+
+
+def cmd_fuzz_shrink(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.fuzz.corpus import load_entry, save_entry
+    from repro.fuzz.gen import FuzzCase
+    from repro.fuzz.shrink import shrink
+
+    src = Path(args.case)
+    if src.exists():
+        try:
+            entry = load_entry(src)
+            case, oracle = entry.case, args.oracle or entry.oracle
+        except ValueError:
+            case = FuzzCase.from_json(src.read_text(encoding="utf-8"))
+            oracle = args.oracle
+    else:
+        case = FuzzCase.from_json(args.case)
+        oracle = args.oracle
+    if not oracle:
+        print("error: --oracle is required unless the file is a corpus entry",
+              file=sys.stderr)
+        return 2
+    result = shrink(case, oracle, max_probes=args.max_probes,
+                    log=lambda msg: print(msg, file=sys.stderr))
+    if result is None:
+        print(f"case does not fail oracle {oracle!r}; nothing to shrink")
+        return 1
+    print(f"minimized after {result.probes} probes "
+          f"(-{result.removed_overrides} overrides, "
+          f"ops {result.ops_before} -> {result.case.ops}):")
+    print(_json.dumps(result.case.to_dict(), indent=2, sort_keys=True))
+    print(f"still fails: {result.detail}")
+    if args.save:
+        path = save_entry(result.case, oracle, note=result.detail,
+                          corpus_dir=Path(args.corpus) if args.corpus else None)
+        print(f"saved reproducer: {path}")
+    return 0
+
+
 def cmd_curve(args: argparse.Namespace) -> int:
     loads = [float(x) for x in _parse_list(args.loads)]
     pts = load_latency_curve(loads, n_requests=args.requests)
@@ -563,6 +660,52 @@ def build_parser() -> argparse.ArgumentParser:
     pbb.add_argument("--force", action="store_true",
                      help="overwrite an existing committed baseline")
     pbb.set_defaults(fn=cmd_bench_bless)
+
+    pf = sub.add_parser(
+        "fuzz", help="randomized differential/metamorphic fuzzer: run / replay / shrink")
+    fsub = pf.add_subparsers(dest="fuzz_command", required=True)
+
+    pfr = fsub.add_parser(
+        "run", help="fuzz random configs against the oracle suite")
+    pfr.add_argument("--trials", type=int, default=50,
+                     help="random (config, workload) cases to generate")
+    pfr.add_argument("--seed", type=int, default=0,
+                     help="master seed; same seed => same campaign")
+    pfr.add_argument("--oracles", default=None,
+                     help="comma list of oracle names (default: all applicable)")
+    pfr.add_argument("--jobs", type=int, default=None,
+                     help="process-pool workers (1 = inline; default REPRO_JOBS/CPUs)")
+    pfr.add_argument("--time-budget", type=float, default=None,
+                     help="stop submitting new checks after this many seconds")
+    pfr.add_argument("--no-shrink", action="store_true",
+                     help="report failures without minimizing them")
+    pfr.add_argument("--max-shrink-probes", type=int, default=48,
+                     help="oracle runs the shrinker may spend per failure")
+    pfr.add_argument("--corpus", default=None,
+                     help="directory for shrunk reproducers (default tests/corpus)")
+    pfr.add_argument("--quiet", action="store_true",
+                     help="suppress per-check progress on stderr")
+    pfr.set_defaults(fn=cmd_fuzz_run)
+
+    pfp = fsub.add_parser(
+        "replay", help="re-run every committed corpus reproducer")
+    pfp.add_argument("--corpus", default=None,
+                     help="corpus directory (default tests/corpus)")
+    pfp.add_argument("--only", default=None,
+                     help="comma list of entry names to replay")
+    pfp.set_defaults(fn=cmd_fuzz_replay)
+
+    pfs = fsub.add_parser(
+        "shrink", help="minimize one failing case (corpus entry, case JSON file, or literal)")
+    pfs.add_argument("case", help="corpus entry path, FuzzCase JSON file, or JSON literal")
+    pfs.add_argument("--oracle", default=None,
+                     help="oracle name (inferred from a corpus entry)")
+    pfs.add_argument("--max-probes", type=int, default=48)
+    pfs.add_argument("--save", action="store_true",
+                     help="write the minimized case to the corpus")
+    pfs.add_argument("--corpus", default=None,
+                     help="corpus directory for --save (default tests/corpus)")
+    pfs.set_defaults(fn=cmd_fuzz_shrink)
 
     pv = sub.add_parser("curve", help="DDR load-latency curve (Fig 2a)")
     pv.add_argument("--loads", default="0.1,0.3,0.5,0.6")

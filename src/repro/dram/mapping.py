@@ -25,6 +25,7 @@ class DramCoord:
     rank: int
     bank: int        # flat bank index (group * banks_per_group + bank)
     row: int
+    col: int = 0     # line index within the row (column / lines_per_row)
 
 
 class AddressMapping:
@@ -80,8 +81,35 @@ class AddressMapping:
         row = line % self.rows
         if self.xor_fold:
             bank = (bank ^ (row & (self.banks - 1))) % self.banks
-        del col
-        return DramCoord(channel=channel, subchannel=sub, rank=rank, bank=bank, row=row)
+        return DramCoord(channel=channel, subchannel=sub, rank=rank, bank=bank,
+                         row=row, col=col)
+
+    def encode(self, coord: DramCoord) -> int:
+        """Inverse of :meth:`decode`: coordinates back to a byte address.
+
+        Exact for any address below :meth:`capacity_bytes` (beyond that the
+        row index wraps and decode is no longer injective). With
+        ``xor_fold`` the fold is only invertible for a power-of-two bank
+        count, so encode rejects other organizations.
+        """
+        bank = coord.bank
+        if self.xor_fold:
+            if self.banks & (self.banks - 1):
+                raise ValueError(
+                    "encode() with xor_fold needs a power-of-two bank count")
+            bank = coord.bank ^ (coord.row & (self.banks - 1))
+        line = coord.row
+        line = line * self.ranks + coord.rank
+        line = line * self.banks + bank
+        line = line * self.lines_per_row + coord.col
+        line = line * self.subchannels + coord.subchannel
+        line = line * self.channels + coord.channel
+        return line << LINE_SHIFT
+
+    def capacity_bytes(self) -> int:
+        """Bytes addressable before the row index wraps."""
+        return (self.channels * self.subchannels * self.lines_per_row
+                * self.banks * self.ranks * self.rows) << LINE_SHIFT
 
     def channel_of(self, addr: int) -> int:
         """Fast path: which channel serves this address."""

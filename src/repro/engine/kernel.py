@@ -7,6 +7,9 @@ from typing import Any, Callable, Optional
 
 from repro.engine.event import Event, EventQueue
 
+#: Dispatch-loop implementations a :class:`Simulator` can run.
+KERNEL_MODES = ("fast", "reference")
+
 
 class Simulator:
     """Discrete-event simulator.
@@ -17,6 +20,12 @@ class Simulator:
     ``(time, seq, fn, args)`` tuples and return ``None``. Callers that need
     to cancel a pending event use ``schedule_cancellable`` /
     ``schedule_at_cancellable``, which return an :class:`Event` handle.
+
+    ``kernel`` selects the dispatch loop: ``"fast"`` (default) pops heap
+    tuples inline, ``"reference"`` goes through the :class:`EventQueue`
+    ``peek_time``/``pop`` API one event at a time. Both must produce
+    bit-identical simulations — the fuzzer's differential oracle runs every
+    generated config through both and compares the full ``SimResult``.
 
     Examples
     --------
@@ -29,10 +38,13 @@ class Simulator:
     ['b', 'a']
     """
 
-    def __init__(self) -> None:
+    def __init__(self, kernel: str = "fast") -> None:
+        if kernel not in KERNEL_MODES:
+            raise ValueError(f"kernel must be one of {KERNEL_MODES}, got {kernel!r}")
         self.now: float = 0.0
         self.queue = EventQueue()
         self.events_fired: int = 0
+        self.kernel = kernel
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
         """Schedule ``fn(*args)`` to run ``delay`` ns from now (delay >= 0)."""
@@ -79,10 +91,14 @@ class Simulator:
         max_events:
             Safety valve: stop after this many events.
 
-        The loop pops heap tuples directly instead of going through
+        The fast loop pops heap tuples directly instead of going through
         ``peek_time()`` + ``pop()``, which would scan past cancelled entries
-        twice per event.
+        twice per event; ``kernel="reference"`` keeps the un-inlined loop
+        as the differential-testing baseline.
         """
+        if self.kernel == "reference":
+            self.run_reference(until=until, max_events=max_events)
+            return
         queue = self.queue
         heap = queue._heap
         cancelled = queue._cancelled
@@ -118,6 +134,35 @@ class Simulator:
                 fired += 1
                 if fired >= max_events:
                     break
+        self.events_fired += fired
+
+    def run_reference(self, until: Optional[float] = None,
+                      max_events: Optional[int] = None) -> None:
+        """Reference dispatch loop: one :class:`EventQueue` call per step.
+
+        Semantically identical to :meth:`run` — same (time, seq) ordering,
+        same ``until`` clock semantics, same cancellation handling — but
+        built from the queue's public ``peek_time``/``pop`` API with a
+        per-event :class:`Event` allocation. It is the retained baseline the
+        fuzzer's differential oracle compares the inlined fast path against;
+        do not "optimize" it.
+        """
+        queue = self.queue
+        fired = 0
+        while True:
+            t = queue.peek_time()
+            if t is None:
+                break
+            if until is not None and t > until:
+                self.now = until
+                break
+            ev = queue.pop()
+            assert ev is not None  # peek_time said there was one
+            self.now = ev.time
+            ev.fn(*ev.args)
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                break
         self.events_fired += fired
 
     def pending(self) -> int:

@@ -34,7 +34,7 @@ from repro.system.stats import SimResult
 
 #: Bump when the meaning of cached numbers changes (simulator semantics,
 #: SimResult schema) without a package-version bump.
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
 
 #: Environment variable overriding the cache directory.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
@@ -77,6 +77,17 @@ def config_fingerprint(cfg: SystemConfig) -> Dict[str, Any]:
     flat: Dict[str, Any] = {}
     _flatten("", dataclasses.asdict(cfg), flat)
     return flat
+
+
+def config_digest(cfg: SystemConfig, short: int = 12) -> str:
+    """Short stable hash of one config's complete fingerprint.
+
+    Used by invariant-violation reports and shrunk fuzz reproducers to name
+    the exact configuration they were observed on, independent of
+    ``cfg.name`` (which random/fuzzed configs share).
+    """
+    blob = json.dumps(config_fingerprint(cfg), sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()[:short]
 
 
 def job_key(cfg: SystemConfig, workload: str, ops: Optional[int],

@@ -1,11 +1,17 @@
-"""Process-pool sweep runner.
+"""Process-pool execution: a generic task fan-out plus the sweep runner.
 
-A sweep is a list of independent simulation jobs — ``(SystemConfig,
-workload, ops, seed)`` — fanned across :class:`ProcessPoolExecutor`
-workers. Results come back in job order regardless of completion order,
-each job gets a waiting timeout and bounded retries, and an optional
-on-disk :class:`~repro.exec.cache.ResultCache` short-circuits jobs that
-have already been simulated by *any* previous process.
+:class:`PoolRunner` is the generic layer: a list of picklable items is
+fanned across :class:`ProcessPoolExecutor` workers through one module-level
+worker function. Results come back in item order regardless of completion
+order, each item gets a waiting timeout and bounded retries, and
+``workers=1`` runs everything inline (no pool, no pickling — monkeypatches
+apply, which the fuzzer's mutation tests rely on).
+
+:class:`SweepRunner` specializes it for simulation sweeps — ``(SystemConfig,
+workload, ops, seed)`` jobs — adding the on-disk
+:class:`~repro.exec.cache.ResultCache` pass that short-circuits jobs already
+simulated by *any* previous process. The fuzz harness
+(:mod:`repro.fuzz.harness`) drives :class:`PoolRunner` directly.
 
 Workers receive the config by value (dataclasses pickle cleanly) and the
 workload by catalog name, so nothing process-local leaks into a job and a
@@ -20,7 +26,7 @@ import sys
 import time as _time
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.exec.cache import ResultCache
 from repro.system.config import ALL_CONFIGS, SystemConfig
@@ -108,8 +114,148 @@ def expand_grid(configs: Sequence[str], workloads: Sequence[str],
     return jobs
 
 
+@dataclass
+class TaskOutcome:
+    """Outcome of one generic pool task.
+
+    ``value`` is whatever the worker function returned (``None`` iff every
+    attempt failed — workers that can legitimately return ``None`` should
+    wrap their result).
+    """
+
+    index: int
+    item: Any
+    value: Any = None
+    wall_s: float = 0.0                  # wall time of the successful attempt
+    attempts: int = 0
+    error: Optional[str] = None
+
+
+class PoolRunner:
+    """Fan picklable items across a process pool, one worker function each.
+
+    Results are returned in item order regardless of completion order.
+
+    Parameters
+    ----------
+    worker_fn:
+        Module-level function ``(item) -> value`` (must pickle). Called
+        inline when ``workers == 1``.
+    workers:
+        Pool size (default: :func:`default_workers`). ``1`` runs items
+        inline in this process — no pool, no pickling.
+    job_timeout_s:
+        Maximum seconds to *wait* for one item's result before counting a
+        failed attempt. A timed-out attempt is resubmitted; the stuck
+        worker task is abandoned to finish in the background.
+    retries:
+        Extra attempts after the first failure/timeout.
+    progress:
+        Callback ``(done, total, outcome)`` invoked as each item settles.
+    """
+
+    def __init__(self, worker_fn: Callable[[Any], Any],
+                 workers: Optional[int] = None,
+                 job_timeout_s: Optional[float] = None,
+                 retries: int = 1,
+                 progress: Optional[Callable[[int, int, TaskOutcome], None]] = None):
+        self.worker_fn = worker_fn
+        self.workers = workers if workers is not None else default_workers()
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        self.job_timeout_s = job_timeout_s
+        self.retries = max(0, retries)
+        self.progress = progress
+
+    def run(self, items: Sequence[Any]) -> List[TaskOutcome]:
+        """Run every item; the returned list is ordered like ``items``."""
+        results: List[Optional[TaskOutcome]] = [None] * len(items)
+        if self.workers == 1:
+            self._run_inline(items, results)
+        else:
+            self._run_pool(items, results)
+        out = [r for r in results if r is not None]
+        assert len(out) == len(items)
+        return out
+
+    def _settle(self, out: TaskOutcome, results: List[Optional[TaskOutcome]],
+                done: int, total: int) -> int:
+        results[out.index] = out
+        done += 1
+        if self.progress:
+            self.progress(done, total, out)
+        return done
+
+    def _run_inline(self, items: Sequence[Any],
+                    results: List[Optional[TaskOutcome]]) -> None:
+        done = 0
+        for i, item in enumerate(items):
+            out = TaskOutcome(index=i, item=item)
+            for attempt in range(1 + self.retries):
+                out.attempts = attempt + 1
+                t0 = _time.perf_counter()
+                try:
+                    out.value = self.worker_fn(item)
+                    out.wall_s = _time.perf_counter() - t0
+                    out.error = None
+                    break
+                except Exception as e:
+                    out.error = f"{type(e).__name__}: {e}"
+            done = self._settle(out, results, done, len(items))
+
+    def _run_pool(self, items: Sequence[Any],
+                  results: List[Optional[TaskOutcome]]) -> None:
+        done = 0
+        attempts: Dict[int, int] = {i: 0 for i in range(len(items))}
+        submitted: Dict[int, float] = {}
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = {}
+            for i, item in enumerate(items):
+                futures[i] = pool.submit(self.worker_fn, item)
+                submitted[i] = _time.perf_counter()
+            while futures:
+                # Settle in index order for deterministic retry behaviour;
+                # items still *run* concurrently across the pool.
+                i = min(futures)
+                fut = futures.pop(i)
+                item = items[i]
+                attempts[i] += 1
+                try:
+                    value = fut.result(timeout=self.job_timeout_s)
+                    done = self._settle(
+                        TaskOutcome(index=i, item=item, value=value,
+                                    wall_s=_time.perf_counter() - submitted[i],
+                                    attempts=attempts[i]),
+                        results, done, len(items))
+                except FutureTimeout:
+                    fut.cancel()
+                    if attempts[i] <= self.retries:
+                        futures[i] = pool.submit(self.worker_fn, item)
+                        submitted[i] = _time.perf_counter()
+                    else:
+                        done = self._settle(
+                            TaskOutcome(index=i, item=item,
+                                        attempts=attempts[i],
+                                        error=f"timeout after {self.job_timeout_s}s"),
+                            results, done, len(items))
+                except Exception as e:
+                    if attempts[i] <= self.retries:
+                        futures[i] = pool.submit(self.worker_fn, item)
+                        submitted[i] = _time.perf_counter()
+                    else:
+                        done = self._settle(
+                            TaskOutcome(index=i, item=item,
+                                        attempts=attempts[i],
+                                        error=f"{type(e).__name__}: {e}"),
+                            results, done, len(items))
+
+
 class SweepRunner:
     """Fan jobs across a process pool with caching, timeout, and retries.
+
+    A thin simulation-specific layer over :class:`PoolRunner`: an on-disk
+    cache pass settles hits without touching the pool, then uncached jobs
+    run through the generic fan-out and the results are written back.
 
     Parameters
     ----------
@@ -165,14 +311,31 @@ class SweepRunner:
                 todo.append(i)
 
         if todo:
-            if self.workers == 1:
-                self._run_inline(jobs, todo, results, done)
-            else:
-                self._run_pool(jobs, todo, results, done)
+            total = len(jobs)
+
+            def _on_outcome(_done: int, _total: int, out: TaskOutcome) -> None:
+                # PoolRunner indexes the todo-sublist; remap onto job indexes.
+                nonlocal done
+                done = self._settle(todo[out.index], self._to_job_result(out),
+                                    results, done, total)
+
+            pool = PoolRunner(_simulate_job, workers=self.workers,
+                              job_timeout_s=self.job_timeout_s,
+                              retries=self.retries, progress=_on_outcome)
+            pool.run([jobs[i] for i in todo])
 
         out = [r for r in results if r is not None]
         assert len(out) == len(jobs)
         return out
+
+    @staticmethod
+    def _to_job_result(out: TaskOutcome) -> JobResult:
+        if out.value is None:
+            return JobResult(job=out.item, result=None, attempts=out.attempts,
+                             error=out.error)
+        result, wall, events = out.value
+        return JobResult(job=out.item, result=result, wall_s=wall,
+                         events=events, attempts=out.attempts)
 
     def _settle(self, i: int, jr: JobResult,
                 results: List[Optional[JobResult]], done: int,
@@ -185,59 +348,6 @@ class SweepRunner:
         if self.progress:
             self.progress(done, total, jr)
         return done
-
-    def _run_inline(self, jobs: Sequence[SweepJob], todo: List[int],
-                    results: List[Optional[JobResult]], done: int) -> None:
-        for i in todo:
-            job = jobs[i]
-            jr = JobResult(job=job, result=None)
-            for attempt in range(1 + self.retries):
-                jr.attempts = attempt + 1
-                try:
-                    jr.result, jr.wall_s, jr.events = _simulate_job(job)
-                    jr.error = None
-                    break
-                except Exception as e:  # pragma: no cover - defensive
-                    jr.error = f"{type(e).__name__}: {e}"
-            done = self._settle(i, jr, results, done, len(jobs))
-
-    def _run_pool(self, jobs: Sequence[SweepJob], todo: List[int],
-                  results: List[Optional[JobResult]], done: int) -> None:
-        attempts: Dict[int, int] = {i: 0 for i in todo}
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            futures = {i: pool.submit(_simulate_job, jobs[i]) for i in todo}
-            while futures:
-                # Settle in index order for deterministic retry behaviour;
-                # jobs still *run* concurrently across the pool.
-                i = min(futures)
-                fut = futures.pop(i)
-                job = jobs[i]
-                attempts[i] += 1
-                try:
-                    result, wall, events = fut.result(timeout=self.job_timeout_s)
-                    done = self._settle(
-                        i, JobResult(job=job, result=result, wall_s=wall,
-                                     events=events, attempts=attempts[i]),
-                        results, done, len(jobs))
-                except FutureTimeout:
-                    fut.cancel()
-                    if attempts[i] <= self.retries:
-                        futures[i] = pool.submit(_simulate_job, job)
-                    else:
-                        done = self._settle(
-                            i, JobResult(job=job, result=None,
-                                         attempts=attempts[i],
-                                         error=f"timeout after {self.job_timeout_s}s"),
-                            results, done, len(jobs))
-                except Exception as e:
-                    if attempts[i] <= self.retries:
-                        futures[i] = pool.submit(_simulate_job, job)
-                    else:
-                        done = self._settle(
-                            i, JobResult(job=job, result=None,
-                                         attempts=attempts[i],
-                                         error=f"{type(e).__name__}: {e}"),
-                            results, done, len(jobs))
 
 
 def print_progress(done: int, total: int, jr: JobResult) -> None:

@@ -107,6 +107,7 @@ def simulate(
     max_ns: float = 5e8,
     validate: Union[bool, str, None] = None,
     trace: Optional["object"] = None,
+    kernel: Optional[str] = None,
 ) -> SimResult:
     """Run one configuration against one workload.
 
@@ -132,7 +133,14 @@ def simulate(
         Optional :class:`~repro.validate.TraceRecorder` filled with the
         measured requests' timelines (implies ``validate="on"`` if
         validation was otherwise off).
+    kernel:
+        Event-dispatch loop: ``"fast"`` (inlined hot path) or
+        ``"reference"`` (the retained baseline loop the fuzzer's
+        differential oracle compares against). ``None`` defers to
+        ``$REPRO_KERNEL``, defaulting to ``"fast"``.
     """
+    from repro.engine.kernel import Simulator
+    from repro.exec.cache import config_digest
     from repro.validate import InvariantChecker, TraceRecorder, resolve_validate_mode
 
     mode = resolve_validate_mode(validate)
@@ -143,9 +151,12 @@ def simulate(
         checker = InvariantChecker(
             strict=(mode == "strict"),
             trace=trace if trace is not None else TraceRecorder(),
+            config_hash=config_digest(cfg),
         )
 
-    sim, chip = build_system(cfg)
+    if kernel is None:
+        kernel = os.environ.get("REPRO_KERNEL", "fast") or "fast"
+    sim, chip = build_system(cfg, sim=Simulator(kernel=kernel))
     n_active = cfg.active_cores
 
     if isinstance(workload, (list, tuple)):
@@ -229,6 +240,10 @@ def simulate(
         "mem_writes": chip.stats.get("mem_writes", 0.0),
         "calm_wasted_bytes": chip.stats.get("calm_wasted_bytes", 0.0),
         "events_fired": float(sim.events_fired),
+        # Per-DDR-channel traffic, in address-mapping order. The fuzzer's
+        # channel-balance oracle reads this to catch interleave-decode skew.
+        "channel_bytes": [float(ch.stats.get("bytes", 0.0))
+                          for ch in chip.ddr_channels],
     }
     if checker is not None:
         checker.finish(chip, elapsed)

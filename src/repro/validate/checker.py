@@ -57,16 +57,23 @@ class InvariantError(RuntimeError):
 
 @dataclass
 class Violation:
-    """One detected invariant violation."""
+    """One detected invariant violation.
+
+    ``config_hash`` ties the record to the exact configuration (see
+    :func:`repro.exec.cache.config_digest`), so a violation copied out of a
+    report — e.g. into a shrunk fuzz reproducer — stays self-describing.
+    """
 
     kind: str                              # short machine-readable tag
     message: str                           # human-readable detail
     req_id: Optional[int] = None
     timeline: Optional[Dict] = None        # full request timeline, if any
+    config_hash: str = ""
 
     def as_dict(self) -> Dict:
         return {"kind": self.kind, "message": self.message,
-                "req_id": self.req_id, "timeline": self.timeline}
+                "req_id": self.req_id, "timeline": self.timeline,
+                "config_hash": self.config_hash}
 
 
 def resolve_validate_mode(validate=None) -> str:
@@ -104,33 +111,46 @@ class InvariantChecker:
     trace:
         Optional :class:`TraceRecorder`; every checked request is recorded
         so violation reports can cite full timelines.
+    config_hash:
+        Short digest of the audited configuration (see
+        :func:`repro.exec.cache.config_digest`); stamped onto every
+        violation and the aggregate report so reproducers are
+        self-describing.
     """
 
     def __init__(self, strict: bool = False, tol_ns: float = 1e-6,
-                 trace: Optional[TraceRecorder] = None) -> None:
+                 trace: Optional[TraceRecorder] = None,
+                 config_hash: str = "") -> None:
         self.strict = strict
         self.tol_ns = tol_ns
         self.trace = trace
+        self.config_hash = config_hash
         self.violations: List[Violation] = []
         self.counts: Dict[str, int] = {}
         self.checked = 0
         # Read conservation: READs handed to the memory system vs. responses
-        # that made it back to the CPU side of the port.
+        # that made it back to the CPU side of the port. Ids are kept so the
+        # end-of-run check can name the requests that went missing instead
+        # of reporting bare aggregate counts.
         self.reads_submitted = 0
         self.reads_responded = 0
+        self._inflight_read_ids: set = set()
         self._completed_ids: set = set()
 
     # -- violation plumbing ----------------------------------------------------
     def _flag(self, kind: str, message: str, req: Optional[MemRequest] = None) -> None:
         tl = timeline_of(req) if req is not None else None
         self.counts[kind] = self.counts.get(kind, 0) + 1
+        if self.config_hash:
+            message = f"{message} [config {self.config_hash}]"
         if self.strict:
             detail = f" timeline={tl}" if tl else ""
             raise InvariantError(f"[{kind}] {message}{detail}")
         if len(self.violations) < MAX_RECORDED:
             self.violations.append(Violation(
                 kind=kind, message=message,
-                req_id=req.req_id if req is not None else None, timeline=tl))
+                req_id=req.req_id if req is not None else None, timeline=tl,
+                config_hash=self.config_hash))
 
     @property
     def n_violations(self) -> int:
@@ -142,6 +162,7 @@ class InvariantChecker:
             "count": self.n_violations,
             "checked_requests": self.checked,
             "strict": self.strict,
+            "config_hash": self.config_hash,
             "by_kind": dict(sorted(self.counts.items())),
             "violations": [v.as_dict() for v in self.violations],
         }
@@ -151,10 +172,12 @@ class InvariantChecker:
         """A READ left the chip towards a memory port."""
         if req.kind == READ:
             self.reads_submitted += 1
+            self._inflight_read_ids.add(req.req_id)
 
     def on_mem_response(self, req: MemRequest) -> None:
         """Memory read data arrived back at the CPU side of the port."""
         self.reads_responded += 1
+        self._inflight_read_ids.discard(req.req_id)
 
     def on_double_complete(self, req: MemRequest) -> None:
         """The completion handler ran again for an already-completed request."""
@@ -301,6 +324,13 @@ class InvariantChecker:
                            f"chip: counter {key} is negative ({val})")
 
         if self.reads_submitted != self.reads_responded:
+            # Name the offending requests, not just the aggregate counts:
+            # lost reads are still in the in-flight set; phantom responses
+            # leave it empty with the counters skewed the other way.
+            lost = sorted(self._inflight_read_ids)
+            detail = (f"; lost request ids: {lost[:10]}"
+                      + (" ..." if len(lost) > 10 else "")) if lost else ""
             self._flag("read_conservation",
                        f"{self.reads_submitted} READs entered the memory "
-                       f"system but {self.reads_responded} responses returned")
+                       f"system but {self.reads_responded} responses "
+                       f"returned{detail}")

@@ -1,11 +1,14 @@
-"""Unit tests for replacement policies."""
+"""Unit and property tests for replacement policies."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.cache.cache import CacheArray
 from repro.cache.replacement import (
     LRUPolicy, RandomPolicy, SRRIPPolicy, make_policy,
 )
+
+POLICY_NAMES = ["lru", "random", "srrip"]
 
 
 class TestFactory:
@@ -82,3 +85,78 @@ class TestSRRIP:
         for i in range(100):
             c.fill(i * 64)
         assert c.occupancy() <= 8
+
+
+def _drive(policy_name, tags, ways):
+    """Replay an access sequence through one set, checking invariants.
+
+    Returns the victim sequence (for determinism comparisons).
+    """
+    p = make_policy(policy_name, seed=7)
+    if hasattr(p, "bind_set"):
+        p.bind_set(0)
+    s = {}
+    victims = []
+    for tag in tags:
+        if tag in s:
+            p.on_hit(s, tag)
+        else:
+            if len(s) >= ways:
+                v = p.victim(s)
+                assert v in s, f"{policy_name} evicted a non-resident line"
+                del s[v]
+                victims.append(v)
+            p.on_fill(s, tag, False)
+        assert len(s) <= ways, f"{policy_name} overfilled the set"
+    return victims
+
+
+class TestVictimProperties:
+    """Victim-selection invariants that must hold for every policy."""
+
+    @given(policy=st.sampled_from(POLICY_NAMES),
+           tags=st.lists(st.integers(0, 15), max_size=120),
+           ways=st.integers(1, 8))
+    @settings(max_examples=150, deadline=None)
+    def test_victim_resident_and_capacity_respected(self, policy, tags, ways):
+        _drive(policy, tags, ways)
+
+    @given(policy=st.sampled_from(POLICY_NAMES),
+           tags=st.lists(st.integers(0, 15), max_size=120),
+           ways=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_victim_sequence_deterministic(self, policy, tags, ways):
+        assert _drive(policy, tags, ways) == _drive(policy, tags, ways)
+
+    @given(tags=st.lists(st.integers(0, 15), max_size=120),
+           ways=st.integers(1, 8))
+    @settings(max_examples=150, deadline=None)
+    def test_lru_victim_is_least_recent(self, tags, ways):
+        p = make_policy("lru")
+        s = {}
+        recency = []  # oldest first
+        for tag in tags:
+            if tag in s:
+                p.on_hit(s, tag)
+                recency.remove(tag)
+                recency.append(tag)
+            else:
+                if len(s) >= ways:
+                    v = p.victim(s)
+                    assert v == recency[0], "LRU victim was not the oldest line"
+                    del s[v]
+                    recency.remove(v)
+                p.on_fill(s, tag, False)
+                recency.append(tag)
+
+    @given(ways=st.integers(2, 8), hit_idx=st.integers(0, 7))
+    @settings(max_examples=60, deadline=None)
+    def test_srrip_hit_line_not_immediate_victim(self, ways, hit_idx):
+        hit_idx %= ways
+        p = make_policy("srrip")
+        p.bind_set(0)
+        s = {}
+        for t in range(ways):
+            p.on_fill(s, t, False)
+        p.on_hit(s, hit_idx)  # RRPV -> 0: strongly protected
+        assert p.victim(s) != hit_idx

@@ -1,0 +1,43 @@
+"""Replay every committed seed-corpus reproducer as an ordinary test.
+
+Each file under ``tests/corpus/`` records a fuzz case that failed when a
+bug existed; on a healthy tree its oracle must pass. A failure here means
+the corresponding bug regressed — the entry's ``note`` says which.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.corpus import load_corpus, load_entry, replay_entry
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+ENTRIES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert ENTRIES, "tests/corpus/ must hold the committed regression seeds"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+def test_corpus_entry_replays_clean(path):
+    entry = load_entry(path)
+    detail = replay_entry(entry)
+    assert detail is None, (
+        f"corpus regression {entry.name} [{entry.oracle}] failed again: "
+        f"{detail}\n  case: {entry.case.label()}\n  note: {entry.note}")
+
+
+def test_corpus_entries_are_single_line_json():
+    # The acceptance bar for shrunk reproducers: at most 5 lines each
+    # (ours are one compact JSON line plus the trailing newline).
+    for path in ENTRIES:
+        text = path.read_text()
+        assert len(text.strip().splitlines()) <= 5, f"{path} is not compact"
+
+
+def test_loader_matches_glob():
+    loaded = {e.name for e in load_corpus(CORPUS_DIR)}
+    assert loaded == {p.stem for p in ENTRIES}

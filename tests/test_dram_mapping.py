@@ -1,8 +1,9 @@
-"""Unit tests for the address-to-DRAM-coordinate mapping."""
+"""Unit and property tests for the address-to-DRAM-coordinate mapping."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
-from repro.dram.mapping import AddressMapping
+from repro.dram.mapping import AddressMapping, DramCoord
 
 
 class TestAddressMapping:
@@ -52,3 +53,55 @@ class TestAddressMapping:
         for line in range(1000):
             counts[m.channel_of(line * 64)] += 1
         assert max(counts) - min(counts) <= 1
+
+
+@st.composite
+def organizations(draw):
+    """Valid DDR organizations (power-of-two banks, so xor_fold inverts)."""
+    return AddressMapping(
+        channels=draw(st.integers(1, 8)),
+        subchannels=draw(st.sampled_from([1, 2])),
+        ranks=draw(st.integers(1, 2)),
+        banks=draw(st.sampled_from([8, 16, 32])),
+        rows=draw(st.sampled_from([256, 1024, 4096])),
+        xor_fold=draw(st.booleans()),
+    )
+
+
+class TestRoundTripProperties:
+    """decode/encode must be exact inverses within the mapped capacity."""
+
+    @given(organizations(), st.integers(0, 2**60))
+    @settings(max_examples=200, deadline=None)
+    def test_decode_encode_round_trip(self, m, raw):
+        addr = (raw % m.capacity_bytes()) & ~0x3F
+        assert m.encode(m.decode(addr)) == addr
+
+    @given(organizations(), st.integers(0, 2**60))
+    @settings(max_examples=100, deadline=None)
+    def test_decode_fields_within_organization(self, m, raw):
+        c = m.decode(raw % m.capacity_bytes())
+        assert 0 <= c.channel < m.channels
+        assert 0 <= c.subchannel < m.subchannels
+        assert 0 <= c.rank < m.ranks
+        assert 0 <= c.bank < m.banks
+        assert 0 <= c.row < m.rows
+        assert 0 <= c.col < m.lines_per_row
+
+    @given(organizations(), st.integers(0, 2**60), st.integers(0, 2**60))
+    @settings(max_examples=100, deadline=None)
+    def test_decode_injective_within_capacity(self, m, raw_a, raw_b):
+        a = (raw_a % m.capacity_bytes()) & ~0x3F
+        b = (raw_b % m.capacity_bytes()) & ~0x3F
+        if a != b:
+            assert m.decode(a) != m.decode(b)
+
+    def test_encode_rejects_unfoldable_bank_count(self):
+        m = AddressMapping(channels=1, banks=24, xor_fold=True)
+        with pytest.raises(ValueError):
+            m.encode(DramCoord(channel=0, subchannel=0, rank=0, bank=1, row=3))
+
+    def test_encode_without_fold_accepts_any_bank_count(self):
+        m = AddressMapping(channels=2, banks=24, xor_fold=False)
+        addr = 24 * 64
+        assert m.encode(m.decode(addr)) == addr

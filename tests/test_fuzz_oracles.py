@@ -1,0 +1,45 @@
+"""Real-oracle soundness: a small seeded campaign must run clean.
+
+The oracle tolerances in :mod:`repro.fuzz.oracles` were calibrated so a
+clean tree passes sustained random campaigns (``repro fuzz run --trials 50
+--seed 0`` is the acceptance bar; nightly CI runs bigger ones). This smoke
+slice keeps a miniature version of that guarantee in the tier-1 suite so a
+tolerance regression or an oracle crash shows up in CI, not at night.
+"""
+
+import pytest
+
+from repro.fuzz.gen import FuzzCase, generate_cases
+from repro.fuzz.harness import FuzzRunner
+from repro.fuzz.oracles import ORACLES, applicable_oracles, run_oracle
+
+
+@pytest.mark.slow
+def test_small_campaign_runs_clean(tmp_path):
+    report = FuzzRunner(trials=3, seed=0, workers=1, shrink_failures=False,
+                        corpus_dir=tmp_path).run()
+    assert report.errors == [], f"oracle crashes: {report.errors}"
+    assert report.failures == [], (
+        "clean-tree fuzz failures (tolerances drifted or a real bug): "
+        + "; ".join(f"{f.oracle}: {f.detail}" for f in report.failures))
+    assert report.checks_run > 0
+
+
+@pytest.mark.slow
+def test_diff_kernel_oracle_on_named_configs():
+    # The differential oracle's strongest claim — fast and reference
+    # kernels bit-identical — pinned on one DDR and one CXL config.
+    for base in ("ddr-baseline", "coaxial-4x"):
+        case = FuzzCase(base=base, workload="mcf", ops=300, seed=1)
+        assert run_oracle("diff_kernel", case) is None
+
+
+def test_every_default_oracle_applies_somewhere():
+    # No oracle may be dead weight: across a modest sample each default
+    # oracle must be applicable to at least one generated case.
+    cases = generate_cases(60, seed=1)
+    seen = set()
+    for c in cases:
+        seen.update(applicable_oracles(c))
+    missing = {n for n, o in ORACLES.items() if o.default} - seen
+    assert not missing, f"oracles never applicable in 60 cases: {missing}"

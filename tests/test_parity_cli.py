@@ -70,6 +70,27 @@ class TestParityBlessCompare:
         assert main(["parity", "compare", "--quiet", "--golden", golden,
                      "--strict"]) == 1
 
+    def test_compare_corrupted_value_exits_1(self, tmp_path, capsys):
+        # A golden whose stored value drifted an order of magnitude is a
+        # scientific failure (exit 1), not an infrastructure one.
+        golden = self._golden(tmp_path)
+        assert main(["parity", "bless", *TINY, "--golden", golden]) == 0
+        payload = json.load(open(golden))
+        entry = payload["metrics"]["fig5.geomean_speedup.coaxial-4x"]
+        entry["value"] = entry["value"] * 10.0
+        json.dump(payload, open(golden, "w"))
+        assert main(["parity", "compare", "--quiet", "--golden", golden]) == 1
+
+    def test_compare_metric_missing_value_exits_2(self, tmp_path, capsys):
+        # A structurally broken metric entry (no numeric 'value') is an
+        # unusable golden: infrastructure error, exit 2.
+        golden = self._golden(tmp_path)
+        assert main(["parity", "bless", *TINY, "--golden", golden]) == 0
+        payload = json.load(open(golden))
+        del payload["metrics"]["fig5.geomean_speedup.coaxial-4x"]["value"]
+        json.dump(payload, open(golden, "w"))
+        assert main(["parity", "compare", "--quiet", "--golden", golden]) == 2
+
     def test_compare_missing_golden_exits_2(self, tmp_path, capsys):
         assert main(["parity", "compare", "--quiet",
                      "--golden", str(tmp_path / "absent.json")]) == 2
