@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""CI gate: observability overhead on simulation throughput.
+
+Runs the same job with observability off and on ("on" = metrics +
+time-series sampling; the kernel profiler is excluded because CI wants
+the steady-state cost of leaving ``REPRO_OBS=1`` set, not the cost of
+an explicit profiling session) and compares events/s. Each mode gets a
+warmup run and then ``--reps`` timed runs; the best rep per mode is
+compared so scheduler noise on shared CI runners doesn't trip the gate.
+
+Exit status: 0 when the obs-on throughput is within ``--gate`` of the
+obs-off throughput (default 10%), 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.system.config import ALL_CONFIGS
+from repro.system.sim import simulate
+from repro.workloads import get_workload
+
+
+def best_events_per_s(cfg, wl, ops: int, seed: int, obs: str,
+                      reps: int) -> float:
+    simulate(cfg, wl, ops_per_core=ops // 2, seed=seed, obs=obs)  # warmup
+    best = 0.0
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        r = simulate(cfg, wl, ops_per_core=ops, seed=seed, obs=obs)
+        wall = time.perf_counter() - t0
+        best = max(best, r.extras["events_fired"] / wall)
+    return best
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--config", default="coaxial-4x")
+    ap.add_argument("--workload", default="mcf")
+    ap.add_argument("--ops", type=int, default=6000)
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--reps", type=int, default=3)
+    ap.add_argument("--gate", type=float, default=0.10,
+                    help="max tolerated fractional slowdown with obs on")
+    args = ap.parse_args(argv)
+
+    cfg = ALL_CONFIGS[args.config]()
+    wl = get_workload(args.workload)
+    off = best_events_per_s(cfg, wl, args.ops, args.seed, "off", args.reps)
+    on = best_events_per_s(cfg, wl, args.ops, args.seed, "on", args.reps)
+    slowdown = 1.0 - on / off
+    print(f"obs off : {off:12.0f} events/s")
+    print(f"obs on  : {on:12.0f} events/s")
+    print(f"slowdown: {100.0 * slowdown:+.2f}% (gate {100.0 * args.gate:.0f}%)")
+    if slowdown > args.gate:
+        print("FAIL: observability overhead exceeds the gate", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,11 @@ class CalmPolicy:
 
     def __init__(self) -> None:
         self.stats = CalmStats()
+        # Decision counters (observability): how many decide() calls went
+        # CALM, and — for regulated policies — why the rest were suppressed.
+        self.n_go = 0
+        self.n_suppress_cap = 0
+        self.n_suppress_prob = 0
 
     def decide(self, pc: int, addr: int) -> bool:
         raise NotImplementedError
@@ -31,6 +36,9 @@ class CalmPolicy:
 
     def reset_stats(self) -> None:
         self.stats.reset()
+        self.n_go = 0
+        self.n_suppress_cap = 0
+        self.n_suppress_prob = 0
 
 
 class NeverCalm(CalmPolicy):
@@ -121,11 +129,17 @@ class CalmR(CalmPolicy):
         self._l2_misses_epoch += 1
         cap = self.r_fraction * self.peak_bandwidth_gbps
         if self.bw_filtered >= cap:
+            self.n_suppress_cap += 1
             return False
         if self.bw_unfiltered <= 0.0:
+            self.n_go += 1
             return True  # no estimate yet: bandwidth headroom is certain
         p = min(1.0, (cap - self.bw_filtered) / self.bw_unfiltered)
-        return self._rng.random() < p
+        if self._rng.random() < p:
+            self.n_go += 1
+            return True
+        self.n_suppress_prob += 1
+        return False
 
     def observe(self, pc: int, addr: int, llc_hit: bool, was_calm: bool) -> None:
         super().observe(pc, addr, llc_hit, was_calm)

@@ -68,10 +68,28 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.active_cores:
         cfg = cfg.replace(active_cores=args.active_cores)
     wl = get_workload(args.workload)
+    collector = None
+    if args.obs:
+        from repro.obs import ObsCollector, known_export_suffixes
+        from pathlib import Path
+        if Path(args.obs).suffix.lower() not in known_export_suffixes():
+            # Fail before simulating, not after: a bad output path
+            # shouldn't cost the user the whole run.
+            print(f"error: unknown metrics export format "
+                  f"{Path(args.obs).suffix!r} for {args.obs}; expected one "
+                  f"of: {', '.join(known_export_suffixes())}",
+                  file=sys.stderr)
+            return 2
+        # The exported file should answer "where did the time go", so an
+        # explicit --obs run collects the kernel profile as well.
+        collector = ObsCollector(mode=args.obs_mode)
     r = simulate(cfg, wl, ops_per_core=args.ops, seed=args.seed,
-                 validate=args.validate)
+                 validate=args.validate,
+                 obs=collector if collector is not None else None)
     print(r.summary())
-    print(f"  p90 miss latency : {r.p90_miss_latency:.1f} ns")
+    print(f"  miss latency     : p50 {r.p50_miss_latency:.1f} / "
+          f"p90 {r.p90_miss_latency:.1f} / p99 {r.p99_miss_latency:.1f} / "
+          f"p99.9 {r.p999_miss_latency:.1f} ns")
     print(f"  read/write BW    : {r.read_bandwidth_gbps:.1f} / "
           f"{r.write_bandwidth_gbps:.1f} GB/s")
     print(f"  LLC hit rate     : {100 * r.llc_hit_rate:.1f}%")
@@ -79,11 +97,39 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"  CALM fraction    : {100 * r.calm_fraction:.1f}% "
               f"(fp {100 * r.calm_false_pos_rate:.1f}%, "
               f"fn {100 * r.calm_false_neg_rate:.1f}%)")
+    if collector is not None:
+        from repro.obs import export_snapshot
+        out = export_snapshot(
+            args.obs, collector.snapshot(with_profile=True),
+            meta={"config": cfg.name, "workload": r.workload_name,
+                  "seed": args.seed})
+        hint = (f" (render with: repro obs report {out})"
+                if out.suffix.lower() in (".jsonl",) else "")
+        print(f"  metrics          : -> {out}{hint}")
     report = r.extras.get("invariant_violations")
     if report is not None:
         _print_violation_report(report)
         if report.get("count", 0):
             return 1
+    return 0
+
+
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    """Render exported metrics JSONL as a terminal run report."""
+    from repro.obs import load_jsonl, render_report
+
+    try:
+        runs = load_jsonl(args.file)
+    except (OSError, ValueError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    if not runs:
+        print(f"{args.file}: no runs recorded", file=sys.stderr)
+        return 1
+    for i, run in enumerate(runs):
+        if i:
+            print()
+        print(render_report(run, top=args.top), end="")
     return 0
 
 
@@ -178,7 +224,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"error: {e}", file=sys.stderr)
         return 2
     jobs = expand_grid(configs, workloads, ops=args.ops, seeds=seeds,
-                       validate=args.validate)
+                       validate=args.validate, obs=args.obs)
     print(f"sweep: {len(configs)} config(s) x {len(workloads)} workload(s) x "
           f"{len(seeds)} seed(s) = {len(jobs)} jobs on {workers} worker(s)")
 
@@ -535,6 +581,13 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["off", "on", "strict"],
                     help="request-lifecycle invariant auditing "
                          "(default: $REPRO_VALIDATE)")
+    pr.add_argument("--obs", default=None, metavar="PATH",
+                    help="export run metrics to PATH (.jsonl/.csv/.prom); "
+                         "render with 'repro obs report PATH'")
+    pr.add_argument("--obs-mode", default="profile",
+                    choices=["on", "profile"],
+                    help="what --obs collects: metrics+series ('on') or "
+                         "additionally the kernel profile (default)")
     pr.set_defaults(fn=cmd_run)
 
     pt = sub.add_parser(
@@ -594,7 +647,20 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--validate", default=None,
                     choices=["off", "on", "strict"],
                     help="invariant auditing per job (cache hits skip it)")
+    ps.add_argument("--obs", default=None, choices=["off", "on", "profile"],
+                    help="per-job observability; enables the fleet metric "
+                         "rollup in the benchmark record (cache hits skip it)")
     ps.set_defaults(fn=cmd_sweep)
+
+    po = sub.add_parser(
+        "obs", help="observability: render exported metrics files")
+    osub = po.add_subparsers(dest="obs_command", required=True)
+    por = osub.add_parser(
+        "report", help="render a metrics .jsonl as a terminal run report")
+    por.add_argument("file", help="metrics JSONL written by 'repro run --obs'")
+    por.add_argument("--top", type=int, default=12,
+                     help="profile rows to show (default 12)")
+    por.set_defaults(fn=cmd_obs_report)
 
     pp = sub.add_parser(
         "parity", help="paper-parity golden metrics: run / compare / bless")

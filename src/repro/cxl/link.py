@@ -95,3 +95,7 @@ class SerialLink:
         if elapsed_ns <= 0:
             return 0.0
         return (self.bytes_moved / elapsed_ns) / self.goodput_gbps
+
+    def backlog_ns(self, now: float) -> float:
+        """Serialization backlog: how far ahead of ``now`` the link is booked."""
+        return max(0.0, self.next_free - now)

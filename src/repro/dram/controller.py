@@ -267,6 +267,11 @@ class _SubChannel:
         """Queued reads, including any back-pressured beyond the cap."""
         return len(self.reads) + len(self.overflow)
 
+    @property
+    def write_queue_len(self) -> int:
+        """Queued (posted, not yet issued) writes."""
+        return len(self.writes)
+
 
 class DDRChannel(Component):
     """A DDR5 channel (two sub-channels) with FR-FCFS scheduling.
@@ -354,6 +359,10 @@ class DDRChannel(Component):
     def read_queue_len(self) -> int:
         """Total queued (not yet issued) reads across sub-channels."""
         return sum(s.read_queue_len for s in self.subs)
+
+    def write_queue_len(self) -> int:
+        """Total queued (not yet issued) posted writes across sub-channels."""
+        return sum(s.write_queue_len for s in self.subs)
 
     def read_q_high_watermark(self) -> int:
         """Largest scheduler-visible read-queue depth since the last reset.

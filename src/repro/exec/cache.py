@@ -34,7 +34,9 @@ from repro.system.stats import SimResult
 
 #: Bump when the meaning of cached numbers changes (simulator semantics,
 #: SimResult schema) without a package-version bump.
-CACHE_SCHEMA_VERSION = 2
+#: 3: p50/p99/p99.9 miss-latency fields; p90 now comes from the streaming
+#:    log-bucketed histogram instead of an exact full-sample percentile.
+CACHE_SCHEMA_VERSION = 3
 
 #: Environment variable overriding the cache directory.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"

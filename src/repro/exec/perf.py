@@ -14,8 +14,16 @@ Record schema (stable; additions only)::
       "jobs": [ {config, workload, ops, seed, wall_s, events,
                  events_per_s, cached, attempts, ipc, error}, ... ],
       "summary": {n_jobs, n_cached, n_failed, sim_wall_s,
-                  total_events, events_per_s, cache: {hits, misses, stores}}
+                  total_events, events_per_s, cache: {hits, misses, stores}},
+      "fleet": {slowest_jobs, events_per_s: {min, p50, mean, max},
+                cache_hit_rate, miss_latency_ns?}   # schema >= 1, additive
     }
+
+The ``fleet`` section is the sweep-level observability rollup: the
+slowest executed jobs, the distribution of per-job kernel throughput,
+the cache hit rate, and — when jobs ran with ``obs`` enabled — the
+merged miss-latency distribution across every job in the sweep (exact
+bucket-wise histogram merge; see :mod:`repro.obs.metrics`).
 """
 
 from __future__ import annotations
@@ -72,6 +80,61 @@ def job_record(jr: JobResult) -> Dict[str, Any]:
     }
 
 
+def _job_obs_histogram(jr: JobResult, name: str) -> Optional[Dict[str, Any]]:
+    """A job's exported obs histogram payload, if the job carried one."""
+    if jr.result is None:
+        return None
+    payload = jr.result.extras.get("obs")
+    if not isinstance(payload, dict):
+        return None
+    for ent in payload.get("metrics", {}).get("histograms", ()):
+        if ent.get("name") == name:
+            return ent
+    return None
+
+
+def fleet_summary(results: Sequence[JobResult]) -> Dict[str, Any]:
+    """Sweep-level rollup: slowest jobs, throughput spread, hit rate.
+
+    When jobs ran with observability enabled, their per-job miss-latency
+    histograms are merged (exact, bucket-wise) into one fleet
+    distribution and summarized under ``miss_latency_ns``.
+    """
+    from repro.obs.metrics import StreamingHistogram
+
+    executed = [r for r in results if not r.cached and r.result is not None]
+    rates = sorted(r.events_per_s for r in executed if r.wall_s > 0)
+    slowest = sorted(executed, key=lambda r: -r.wall_s)[:5]
+    n_cached = sum(1 for r in results if r.cached)
+    out: Dict[str, Any] = {
+        "slowest_jobs": [
+            {"config": r.job.config.name, "workload": r.job.workload,
+             "seed": r.job.seed, "wall_s": round(r.wall_s, 4),
+             "events_per_s": round(r.events_per_s, 1)}
+            for r in slowest],
+        "events_per_s": {
+            "min": round(rates[0], 1) if rates else 0.0,
+            "p50": round(rates[len(rates) // 2], 1) if rates else 0.0,
+            "mean": round(sum(rates) / len(rates), 1) if rates else 0.0,
+            "max": round(rates[-1], 1) if rates else 0.0,
+        },
+        "cache_hit_rate": round(n_cached / len(results), 4) if results else 0.0,
+    }
+    fleet_hist: Optional[StreamingHistogram] = None
+    for jr in results:
+        ent = _job_obs_histogram(jr, "repro_miss_latency_ns")
+        if ent is None:
+            continue
+        h = StreamingHistogram.from_dict(ent)
+        if fleet_hist is None:
+            fleet_hist = h
+        else:
+            fleet_hist.merge(h)
+    if fleet_hist is not None:
+        out["miss_latency_ns"] = fleet_hist.summary()
+    return out
+
+
 def bench_record(results: Sequence[JobResult], total_wall_s: float,
                  workers: int,
                  cache: Optional[ResultCache] = None) -> Dict[str, Any]:
@@ -94,6 +157,7 @@ def bench_record(results: Sequence[JobResult], total_wall_s: float,
             "events_per_s": round(events / executed_wall, 1) if executed_wall > 0 else 0.0,
             "cache": cache.counters() if cache is not None else None,
         },
+        "fleet": fleet_summary(results),
     }
 
 
@@ -141,4 +205,21 @@ def format_summary(record: Dict[str, Any]) -> List[str]:
     if c is not None:
         lines.append(f"cache: hits: {c['hits']} misses: {c['misses']} "
                      f"stores: {c['stores']}")
+    fleet = record.get("fleet")
+    if fleet:
+        eps = fleet.get("events_per_s", {})
+        if eps.get("max"):
+            lines.append(
+                f"fleet: events/s min {eps['min']:,.0f} / p50 {eps['p50']:,.0f}"
+                f" / max {eps['max']:,.0f}; cache hit rate "
+                f"{100 * fleet.get('cache_hit_rate', 0.0):.0f}%")
+        slow = fleet.get("slowest_jobs") or []
+        if slow:
+            worst = slow[0]
+            lines.append(f"slowest job: {worst['config']}/{worst['workload']} "
+                         f"at {worst['wall_s']:.2f}s")
+        ml = fleet.get("miss_latency_ns")
+        if ml:
+            lines.append(f"fleet miss latency: p50 {ml['p50']:.0f} ns / "
+                         f"p99 {ml['p99']:.0f} ns over {ml['count']:,} misses")
     return lines

@@ -62,6 +62,12 @@ class SweepJob:
     #: None (env default) / "off" / "on" / "strict". Not part of the cache
     #: key — validation observes a run, it does not change its results.
     validate: Optional[str] = None
+    #: Observability mode forwarded to ``simulate(obs=...)``: None (env
+    #: default) / "off" / "on" / "profile". Like ``validate`` it is not
+    #: part of the cache key — observation never changes results — so a
+    #: cache hit returns the stored result as-is (without an
+    #: ``extras["obs"]`` payload if it was stored without one).
+    obs: Optional[str] = None
 
     def label(self) -> str:
         return f"{self.config.name}/{self.workload}/ops={self.ops}/seed={self.seed}"
@@ -92,7 +98,7 @@ def _simulate_job(job: SweepJob) -> Tuple[SimResult, float, int]:
     t0 = _time.perf_counter()
     result = simulate(job.config, get_workload(job.workload),
                       ops_per_core=job.ops, seed=job.seed,
-                      validate=job.validate)
+                      validate=job.validate, obs=job.obs)
     wall = _time.perf_counter() - t0
     events = int(result.extras.get("events_fired", 0))
     return result, wall, events
@@ -101,7 +107,8 @@ def _simulate_job(job: SweepJob) -> Tuple[SimResult, float, int]:
 def expand_grid(configs: Sequence[str], workloads: Sequence[str],
                 ops: Optional[int] = None,
                 seeds: Sequence[int] = (1,),
-                validate: Optional[str] = None) -> List[SweepJob]:
+                validate: Optional[str] = None,
+                obs: Optional[str] = None) -> List[SweepJob]:
     """Build the (config x workload x seed) job list from config names."""
     jobs = []
     for c in configs:
@@ -110,7 +117,8 @@ def expand_grid(configs: Sequence[str], workloads: Sequence[str],
         cfg = ALL_CONFIGS[c]()
         for w in workloads:
             for s in seeds:
-                jobs.append(SweepJob(cfg, w, ops, s, validate=validate))
+                jobs.append(SweepJob(cfg, w, ops, s, validate=validate,
+                                     obs=obs))
     return jobs
 
 
@@ -364,9 +372,11 @@ def run_sweep(configs: Sequence[str], workloads: Sequence[str],
               job_timeout_s: Optional[float] = None, retries: int = 1,
               progress: Optional[Callable[[int, int, JobResult], None]] = None,
               validate: Optional[str] = None,
+              obs: Optional[str] = None,
               ) -> List[JobResult]:
     """One-call grid sweep: expand, run, return ordered :class:`JobResult`\\ s."""
-    jobs = expand_grid(configs, workloads, ops, seeds, validate=validate)
+    jobs = expand_grid(configs, workloads, ops, seeds, validate=validate,
+                       obs=obs)
     runner = SweepRunner(workers=workers, cache=cache,
                          job_timeout_s=job_timeout_s, retries=retries,
                          progress=progress)

@@ -68,13 +68,15 @@ READ_HEAVY_WRITE_FRAC = 0.10
 
 def _simulate(case: FuzzCase, *, validate: str = "off",
               kernel: Optional[str] = None, cfg=None,
-              ops: Optional[int] = None) -> SimResult:
+              ops: Optional[int] = None,
+              obs: Optional[str] = None) -> SimResult:
     from repro.system.sim import simulate
 
     return simulate(cfg if cfg is not None else build_config(case),
                     get_workload(case.workload),
                     ops_per_core=ops if ops is not None else case.ops,
-                    seed=case.seed, validate=validate, kernel=kernel)
+                    seed=case.seed, validate=validate, kernel=kernel,
+                    obs=obs)
 
 
 def _result_diff(a: SimResult, b: SimResult) -> List[str]:
@@ -249,6 +251,62 @@ def check_channel_balance(case: FuzzCase) -> Optional[str]:
     return None
 
 
+def check_obs(case: FuzzCase) -> Optional[str]:
+    """Observability is a pure observer and its export round-trips.
+
+    Three properties: (1) a run with ``obs="on"`` produces a result
+    identical to one with obs off, except for the ``extras["obs"]``
+    payload itself and the sampler ticks counted in ``events_fired``;
+    (2) every exported counter is non-negative and the Prometheus
+    rendering parses back cleanly; (3) histogram bucket series are
+    cumulative (monotone non-decreasing, ending at the sample count).
+    """
+    import dataclasses as _dc
+
+    from repro.obs import parse_prometheus, prometheus_text
+
+    plain = _simulate(case, obs="off")
+    observed = _simulate(case, obs="on")
+
+    da, db = _dc.asdict(plain), _dc.asdict(observed)
+    payload = db["extras"].pop("obs", None)
+    for d in (da, db):
+        # Sampler ticks fire as (inert) events; everything else must match.
+        d["extras"].pop("events_fired", None)
+        d["extras"].pop("obs", None)
+    diffs = [f"{k}: {da[k]!r} != {db[k]!r}" for k in da if da[k] != db[k]]
+    if diffs:
+        return "obs=on perturbed the simulation: " + "; ".join(diffs[:5])
+    if payload is None:
+        return "obs=on produced no extras['obs'] payload"
+
+    for ent in payload.get("metrics", {}).get("counters", []):
+        if ent["value"] < 0:
+            return f"negative counter {ent['name']}{ent['labels']}: {ent['value']}"
+
+    try:
+        text = prometheus_text(payload)
+        parsed = parse_prometheus(text)
+    except ValueError as e:
+        return f"prometheus export did not round-trip: {e}"
+    if not parsed:
+        return "prometheus export parsed to zero metrics"
+    for name, ent in parsed.items():
+        if ent["type"] != "histogram":
+            continue
+        buckets = [(lbl, v) for (n, lbl, v) in ent["samples"]
+                   if n == name + "_bucket"]
+        counts = [(v, lbl) for (n, lbl, v) in ent["samples"]
+                  if n == name + "_count"]
+        cum = [v for _lbl, v in buckets]
+        if any(b > a for a, b in zip(cum[1:], cum)):
+            return f"histogram {name} buckets are not cumulative: {cum}"
+        if cum and counts and cum[-1] != counts[0][0]:
+            return (f"histogram {name} +Inf bucket {cum[-1]} != count "
+                    f"{counts[0][0]}")
+    return None
+
+
 # -- regression-only oracles (replayed from the corpus, not fuzzed) -----------
 
 def check_calm_clock(case: FuzzCase) -> Optional[str]:
@@ -292,6 +350,7 @@ ORACLES: Dict[str, Oracle] = {o.name: o for o in [
            applies=lambda c: c.ops <= 700),
     Oracle("channel_balance", check_channel_balance,
            applies=lambda c: build_config(c).n_ddr_channels >= 2),
+    Oracle("obs", check_obs),
     Oracle("calm_clock", check_calm_clock, default=False),
 ]}
 

@@ -1,0 +1,29 @@
+"""Observability: streaming metrics, time series, profiling, exporters.
+
+Off by default and zero-cost when disabled: components hold ``None`` or
+the shared :data:`NULL_REGISTRY`, so the simulator's hot paths pay at
+most one attribute test. Enable per run with ``simulate(obs="on")`` /
+``simulate(obs="profile")`` or globally with ``$REPRO_OBS``; export with
+``repro run --obs metrics.jsonl`` and render with
+``repro obs report metrics.jsonl``. See ``docs/observability.md``.
+"""
+
+from repro.obs.collect import DEFAULT_SAMPLE_INTERVAL_NS, ObsCollector
+from repro.obs.export import (export_csv, export_jsonl, export_prometheus,
+                              export_snapshot, known_export_suffixes,
+                              load_jsonl, parse_prometheus, prometheus_text)
+from repro.obs.metrics import Counter, Gauge, StreamingHistogram, TimeSeries
+from repro.obs.profiler import KernelProfiler
+from repro.obs.registry import (NULL_REGISTRY, OBS_MODES, MetricRegistry,
+                                NullRegistry, resolve_obs_mode)
+from repro.obs.report import render_report, sparkline
+
+__all__ = [
+    "Counter", "Gauge", "StreamingHistogram", "TimeSeries",
+    "MetricRegistry", "NullRegistry", "NULL_REGISTRY",
+    "OBS_MODES", "resolve_obs_mode",
+    "KernelProfiler", "ObsCollector", "DEFAULT_SAMPLE_INTERVAL_NS",
+    "prometheus_text", "parse_prometheus",
+    "export_jsonl", "export_csv", "export_prometheus", "export_snapshot",
+    "known_export_suffixes", "load_jsonl", "render_report", "sparkline",
+]

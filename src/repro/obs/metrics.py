@@ -1,0 +1,300 @@
+"""Streaming metrics primitives: histogram, counter, gauge, time series.
+
+These are the building blocks of the observability layer
+(:mod:`repro.obs`). All of them hold constant (or bounded) memory no
+matter how long a simulation runs, are cheap to update from hot paths,
+and serialize to plain JSON so they can ride in ``SimResult.extras``,
+the on-disk result cache, and exported metrics files.
+
+:class:`StreamingHistogram` is a DDSketch-style log-bucketed histogram:
+values land in geometrically-spaced buckets, so any quantile is
+recovered with bounded *relative* error (``alpha``, default 1%) from a
+dict of a few hundred buckets. Histograms with the same ``alpha`` merge
+exactly (bucket-wise addition), which is what lets sweep-level
+aggregation combine per-job latency distributions into a fleet
+distribution without ever holding raw samples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "StreamingHistogram", "TimeSeries"]
+
+
+def _label_key(labels: Optional[Dict[str, str]]) -> Tuple[Tuple[str, str], ...]:
+    """Canonical hashable form of a label set."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically non-decreasing counter."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Optional[Dict[str, str]] = None) -> None:
+        self.name = name
+        self.labels = dict(labels) if labels else {}
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def set_total(self, value: float) -> None:
+        """Overwrite with an externally-accumulated total (must not regress)."""
+        if value < self.value:
+            raise ValueError(
+                f"counter {self.name} cannot decrease ({self.value} -> {value})")
+        self.value = value
+
+
+class Gauge:
+    """A point-in-time value (queue depth, occupancy, utilization)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Optional[Dict[str, str]] = None) -> None:
+        self.name = name
+        self.labels = dict(labels) if labels else {}
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class StreamingHistogram:
+    """Log-bucketed streaming histogram with bounded relative error.
+
+    Values are assigned to bucket ``i = ceil(log(v) / log(gamma))`` with
+    ``gamma = (1 + alpha) / (1 - alpha)``; any value reported back from
+    bucket ``i`` (its geometric midpoint) is within ``alpha`` relative
+    error of the original. Non-positive values (possible only for
+    degenerate timings) are tracked in a dedicated zero bucket.
+
+    Memory is proportional to the *dynamic range* of the data, not the
+    sample count: latencies spanning 10 ns .. 1 ms need ~570 buckets at
+    the default 1% accuracy.
+
+    Two histograms with the same ``alpha`` merge exactly and
+    associatively (bucket-wise addition) — see :meth:`merge`.
+    """
+
+    __slots__ = ("alpha", "_log_gamma", "buckets", "zero_count", "count",
+                 "total", "min", "max")
+
+    kind = "histogram"
+
+    def __init__(self, alpha: float = 0.01) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        self.alpha = alpha
+        self._log_gamma = math.log((1.0 + alpha) / (1.0 - alpha))
+        self.buckets: Dict[int, int] = {}
+        self.zero_count = 0
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    # -- recording -----------------------------------------------------------
+    def record(self, value: float) -> None:
+        """Add one sample (hot path: one log, one dict update)."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self.zero_count += 1
+            return
+        i = math.ceil(math.log(value) / self._log_gamma)
+        b = self.buckets
+        b[i] = b.get(i, 0) + 1
+
+    def record_many(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.record(v)
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        """Exact mean (the running sum is kept alongside the buckets)."""
+        return self.total / self.count if self.count else 0.0
+
+    def _bucket_value(self, index: int) -> float:
+        """Representative value of a bucket: its geometric midpoint."""
+        # Bucket i covers (gamma^(i-1), gamma^i]; the midpoint
+        # 2 * gamma^i / (gamma + 1) bounds relative error by alpha.
+        gamma = math.exp(self._log_gamma)
+        return 2.0 * math.exp(index * self._log_gamma) / (gamma + 1.0)
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0 <= q <= 1) of the recorded values."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
+        rank = q * (self.count - 1)
+        seen = self.zero_count
+        if rank < seen:
+            return min(0.0, self.min)
+        for i in sorted(self.buckets):
+            seen += self.buckets[i]
+            if rank < seen:
+                # Clamp into the observed range so estimates of extreme
+                # quantiles never exceed the true min/max.
+                return min(max(self._bucket_value(i), self.min), self.max)
+        return self.max
+
+    def quantiles(self, qs: Sequence[float]) -> List[float]:
+        return [self.quantile(q) for q in qs]
+
+    # -- merging ---------------------------------------------------------------
+    def merge(self, other: "StreamingHistogram") -> "StreamingHistogram":
+        """Fold ``other`` into this histogram in place; returns ``self``.
+
+        Exact and associative: the merged histogram is identical to one
+        that recorded both sample streams directly.
+        """
+        if abs(other.alpha - self.alpha) > 1e-12:
+            raise ValueError(
+                f"cannot merge histograms with different accuracy "
+                f"({self.alpha} vs {other.alpha})")
+        for i, n in other.buckets.items():
+            self.buckets[i] = self.buckets.get(i, 0) + n
+        self.zero_count += other.zero_count
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        return self
+
+    # -- serialization ----------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-safe form (bucket keys become strings)."""
+        return {
+            "alpha": self.alpha,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "zero_count": self.zero_count,
+            "buckets": {str(i): n for i, n in sorted(self.buckets.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "StreamingHistogram":
+        h = cls(alpha=payload["alpha"])
+        h.count = int(payload["count"])
+        h.total = float(payload["sum"])
+        h.zero_count = int(payload.get("zero_count", 0))
+        h.min = math.inf if payload.get("min") is None else float(payload["min"])
+        h.max = -math.inf if payload.get("max") is None else float(payload["max"])
+        h.buckets = {int(i): int(n) for i, n in payload["buckets"].items()}
+        return h
+
+    def summary(self) -> Dict[str, float]:
+        """Count, mean and the standard quantile set, as plain floats."""
+        p50, p90, p99, p999 = self.quantiles((0.50, 0.90, 0.99, 0.999))
+        return {"count": self.count, "mean": self.mean,
+                "p50": p50, "p90": p90, "p99": p99, "p999": p999}
+
+
+class TimeSeries:
+    """Windowed multi-column sampler keyed by simulated time.
+
+    Each :meth:`append` adds one row of named values for the window
+    ending at time ``t``. Memory stays bounded: when the series exceeds
+    ``max_windows`` rows, adjacent pairs are merged (columns listed in
+    ``sum_cols`` add, the rest average) and the sampling interval
+    doubles, HdrHistogram-auto-ranging style. Callers re-read
+    :attr:`interval_ns` after every append and schedule their next
+    sample accordingly, so long runs thin out gracefully instead of
+    growing without bound.
+    """
+
+    def __init__(self, interval_ns: float, max_windows: int = 512,
+                 sum_cols: Optional[Iterable[str]] = None) -> None:
+        if interval_ns <= 0:
+            raise ValueError(f"interval_ns must be > 0, got {interval_ns}")
+        if max_windows < 4:
+            raise ValueError(f"max_windows must be >= 4, got {max_windows}")
+        self.interval_ns = float(interval_ns)
+        self.max_windows = max_windows
+        self.sum_cols = set(sum_cols or ())
+        self.t: List[float] = []                # window *end* times
+        self.columns: Dict[str, List[float]] = {}
+
+    def __len__(self) -> int:
+        return len(self.t)
+
+    def append(self, t: float, row: Dict[str, float]) -> None:
+        """Record one window's values; may trigger compaction."""
+        self.t.append(float(t))
+        n = len(self.t)
+        for name, value in row.items():
+            col = self.columns.get(name)
+            if col is None:
+                # A column appearing mid-run backfills zeros so every
+                # column stays aligned with the time axis.
+                col = [0.0] * (n - 1)
+                self.columns[name] = col
+            col.append(float(value))
+        for name, col in self.columns.items():
+            if len(col) < n:
+                col.append(0.0)
+        if n > self.max_windows:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Merge adjacent window pairs and double the interval.
+
+        An odd head window is kept as-is so every merged pair is
+        complete; the time axis keeps each merged window's *end* time.
+        """
+        n = len(self.t)
+        start = n % 2  # leave an odd head window unmerged
+        self.t = self.t[:start] + self.t[start + 1::2]
+        for name, col in self.columns.items():
+            is_sum = name in self.sum_cols
+            merged = col[:start]
+            for i in range(start, n - 1, 2):
+                a, b = col[i], col[i + 1]
+                merged.append(a + b if is_sum else 0.5 * (a + b))
+            self.columns[name] = merged
+        self.interval_ns *= 2.0
+
+    def column(self, name: str) -> List[float]:
+        return self.columns.get(name, [])
+
+    def to_dict(self) -> Dict:
+        return {
+            "interval_ns": self.interval_ns,
+            "t": list(self.t),
+            "sum_cols": sorted(self.sum_cols),
+            "columns": {k: list(v) for k, v in sorted(self.columns.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "TimeSeries":
+        ts = cls(payload["interval_ns"], sum_cols=payload.get("sum_cols"))
+        ts.t = [float(x) for x in payload["t"]]
+        ts.columns = {k: [float(x) for x in v]
+                      for k, v in payload["columns"].items()}
+        return ts

@@ -1,0 +1,59 @@
+"""Kernel profiler: per-event-type dispatch counts and wall time.
+
+Attached to a :class:`~repro.engine.kernel.Simulator` (``sim.profiler``),
+it makes the dispatch loop time every event callback with
+``perf_counter`` and attribute it to the callback's qualified name —
+``DDRChannel._respond``, ``Core._advance``, ... — so a run report can
+say where the event loop actually spends its wall time. The profiler is
+opt-in: with ``sim.profiler is None`` the kernel runs its untouched
+fast loop and pays nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = ["KernelProfiler"]
+
+
+class KernelProfiler:
+    """Accumulates ``{event-type: [count, wall_seconds]}``."""
+
+    __slots__ = ("data",)
+
+    def __init__(self) -> None:
+        self.data: Dict[str, List] = {}
+
+    def reset(self) -> None:
+        self.data.clear()
+
+    @property
+    def total_events(self) -> int:
+        return sum(int(v[0]) for v in self.data.values())
+
+    @property
+    def total_wall_s(self) -> float:
+        return sum(float(v[1]) for v in self.data.values())
+
+    def rows(self) -> List[Dict]:
+        """Per-event-type records, heaviest wall time first."""
+        total = self.total_wall_s
+        out = []
+        for key, (count, wall) in sorted(self.data.items(),
+                                         key=lambda kv: -kv[1][1]):
+            out.append({
+                "event": key,
+                "count": int(count),
+                "wall_s": float(wall),
+                "wall_frac": float(wall) / total if total > 0 else 0.0,
+                "mean_us": 1e6 * float(wall) / count if count else 0.0,
+            })
+        return out
+
+    def to_dict(self, with_wall: bool = True) -> Dict:
+        """JSON-safe form; ``with_wall=False`` keeps only the
+        deterministic dispatch counts (wall time varies run to run)."""
+        if with_wall:
+            return {k: {"count": int(c), "wall_s": float(w)}
+                    for k, (c, w) in sorted(self.data.items())}
+        return {k: {"count": int(c)} for k, (c, _w) in sorted(self.data.items())}

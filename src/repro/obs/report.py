@@ -1,0 +1,163 @@
+"""Terminal run report: profile table, latency quantiles, sparklines.
+
+``repro obs report metrics.jsonl`` renders one report per run recorded
+in the file. The renderer is pure (dict in, string out) so tests can
+assert on its output without a TTY.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import StreamingHistogram
+
+__all__ = ["render_report", "sparkline"]
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: List[float], width: int = 32) -> str:
+    """Render values as a fixed-width unicode sparkline (max-normalized)."""
+    if not values:
+        return ""
+    if len(values) > width:
+        # Bucket down to `width` by averaging consecutive chunks.
+        out = []
+        n = len(values)
+        for i in range(width):
+            lo = i * n // width
+            hi = max(lo + 1, (i + 1) * n // width)
+            chunk = values[lo:hi]
+            out.append(sum(chunk) / len(chunk))
+        values = out
+    peak = max(values)
+    if peak <= 0:
+        return _SPARK[0] * len(values)
+    return "".join(_SPARK[min(len(_SPARK) - 1,
+                              int(v / peak * (len(_SPARK) - 1) + 0.5))]
+                   for v in values)
+
+
+def _fmt_si(value: float) -> str:
+    for unit, div in (("G", 1e9), ("M", 1e6), ("k", 1e3)):
+        if abs(value) >= div:
+            return f"{value / div:.2f}{unit}"
+    return f"{value:.0f}"
+
+
+def _metric_value(run: Dict, name: str, **labels) -> Optional[float]:
+    for kind in ("counters", "gauges"):
+        for ent in run.get("metrics", {}).get(kind, ()):
+            if ent["name"] == name and all(
+                    ent.get("labels", {}).get(k) == v
+                    for k, v in labels.items()):
+                return float(ent["value"])
+    return None
+
+
+def _profile_section(run: Dict, top: int) -> List[str]:
+    profile = run.get("profile")
+    if not profile:
+        return []
+    rows = sorted(profile.items(),
+                  key=lambda kv: -float(kv[1].get("wall_s", 0.0)))
+    total_wall = sum(float(v.get("wall_s", 0.0)) for _, v in rows)
+    total_count = sum(int(v.get("count", 0)) for _, v in rows)
+    lines = ["Kernel profile (top event types by wall time):",
+             f"  {'event':<38s} {'count':>10s} {'wall ms':>9s} {'%':>6s} "
+             f"{'us/ev':>7s}"]
+    for name, ent in rows[:top]:
+        count = int(ent.get("count", 0))
+        wall = float(ent.get("wall_s", 0.0))
+        frac = 100.0 * wall / total_wall if total_wall > 0 else 0.0
+        mean_us = 1e6 * wall / count if count else 0.0
+        lines.append(f"  {name[:38]:<38s} {count:>10d} {1e3 * wall:>9.2f} "
+                     f"{frac:>5.1f}% {mean_us:>7.2f}")
+    lines.append(f"  total: {total_count} events, {1e3 * total_wall:.1f} ms")
+    return lines
+
+
+def _latency_section(run: Dict) -> List[str]:
+    hists = run.get("metrics", {}).get("histograms", ())
+    if not hists:
+        return []
+    lines = ["Latency distributions (ns):",
+             f"  {'metric':<28s} {'count':>9s} {'mean':>8s} {'p50':>8s} "
+             f"{'p90':>8s} {'p99':>8s} {'p99.9':>8s} {'max':>8s}"]
+    for ent in hists:
+        h = StreamingHistogram.from_dict(ent)
+        s = h.summary()
+        label = ent["name"]
+        if ent.get("labels"):
+            label += "{" + ",".join(f"{k}={v}" for k, v in
+                                    sorted(ent["labels"].items())) + "}"
+        mx = h.max if h.count else 0.0
+        lines.append(
+            f"  {label[:28]:<28s} {s['count']:>9d} {s['mean']:>8.1f} "
+            f"{s['p50']:>8.1f} {s['p90']:>8.1f} {s['p99']:>8.1f} "
+            f"{s['p999']:>8.1f} {mx:>8.1f}")
+    return lines
+
+
+def _series_section(run: Dict) -> List[str]:
+    series = run.get("series", {})
+    cols: Dict[str, List[float]] = series.get("columns", {})
+    t = series.get("t", [])
+    if not t or not cols:
+        return []
+    interval = float(series.get("interval_ns", 0.0)) or 1.0
+    lines = [f"Time series ({len(t)} windows of {interval:.0f} ns):"]
+
+    def row(label: str, values: List[float], unit: str = "") -> None:
+        peak = max(values) if values else 0.0
+        mean = sum(values) / len(values) if values else 0.0
+        lines.append(f"  {label:<16s} {sparkline(values)}  "
+                     f"mean {mean:8.2f}{unit}  peak {peak:8.2f}{unit}")
+
+    channels = sorted({name.split(".")[0] for name in cols
+                       if name.startswith("ddr") and "." in name})
+    for ch in channels:
+        by = cols.get(f"{ch}.bytes")
+        if by:
+            # bytes per window / window ns == GB/s achieved in the window.
+            row(f"{ch} GB/s", [b / interval for b in by], "")
+        rq = cols.get(f"{ch}.rq")
+        if rq:
+            row(f"{ch} readq", rq)
+    for name in sorted(cols):
+        if name.endswith(".tx_bytes") or name.endswith(".rx_bytes"):
+            port, dirn = name.split(".")
+            row(f"{port} {dirn[:2]} GB/s",
+                [b / interval for b in cols[name]])
+    if "mshr" in cols:
+        row("mshr occ", cols["mshr"])
+    go, sup = cols.get("calm.go"), cols.get("calm.suppress")
+    if go and any(go) or sup and any(sup):
+        row("calm go", go or [])
+        row("calm suppress", sup or [])
+    return lines
+
+
+def render_report(run: Dict, top: int = 12) -> str:
+    """Render one run's metrics payload as a terminal report."""
+    meta = run.get("meta", {})
+    title_bits = [str(meta[k]) for k in ("config", "workload") if k in meta]
+    header = "Run report" + (": " + " / ".join(title_bits)
+                            if title_bits else "")
+    sections: List[List[str]] = [[header, "=" * len(header)]]
+
+    facts = []
+    for label, name in (("elapsed_ns", "repro_elapsed_ns"),
+                        ("l2 misses", "repro_l2_misses_total"),
+                        ("llc misses", "repro_llc_misses_total")):
+        v = _metric_value(run, name)
+        if v is not None:
+            facts.append(f"{label}={_fmt_si(v)}")
+    if facts:
+        sections.append(["  " + "  ".join(facts)])
+
+    for sec in (_profile_section(run, top), _latency_section(run),
+                _series_section(run)):
+        if sec:
+            sections.append(sec)
+    return "\n".join("\n".join(s) for s in sections) + "\n"

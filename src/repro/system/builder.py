@@ -21,6 +21,7 @@ from repro.dram.controller import DDRChannel
 from repro.noc.mesh import Mesh2D
 from repro.request import MemRequest, READ, WRITE
 from repro.system.config import SystemConfig
+from repro.system.stats import LatencyBreakdown
 
 LINE_MASK = ~0x3F
 
@@ -88,10 +89,12 @@ class Chip(Component):
                 prefetcher=make_prefetcher(cfg.prefetcher, cfg.prefetch_degree),
             ))
 
-        # Measurement state.
+        # Measurement state. Latencies stream into a constant-memory
+        # aggregator (running component sums + log-bucketed histogram)
+        # instead of an unbounded per-access record list.
         self.measuring = False
         self.meas_start = 0.0
-        self.lat_records: List[Tuple[float, float, float, float, float]] = []
+        self.lat = LatencyBreakdown()
 
         # Optional invariant checker (repro.validate). ``None`` keeps the
         # hot path at one attribute test per hook site; ``simulate()``
@@ -230,13 +233,13 @@ class Chip(Component):
             if req.llc_hit:
                 # Served on chip: the whole latency is on-chip time, even if
                 # a (wasted) CALM memory fetch is still in flight.
-                self.lat_records.append((total, total, 0.0, 0.0, 0.0))
+                self.lat.record_hit(total)
             else:
                 queuing = req.queuing_delay
                 dram = req.dram_service
                 cxl = req.cxl_delay
                 onchip = max(0.0, total - queuing - dram - cxl)
-                self.lat_records.append((total, onchip, queuing, dram, cxl))
+                self.lat.record(total, onchip, queuing, dram, cxl)
         core.complete_miss(req.user["op"], req.addr)
 
     # -- writeback path ------------------------------------------------------------
@@ -270,7 +273,7 @@ class Chip(Component):
         """Reset all statistics at the warmup/measurement boundary."""
         self.measuring = True
         self.meas_start = self.sim.now
-        self.lat_records.clear()
+        self.lat.reset()
         self.reset_stats()
         self.calm.reset_stats()
         for ch in self.ddr_channels:

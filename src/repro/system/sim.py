@@ -17,7 +17,7 @@ import numpy as np
 from repro.cpu.trace import Trace
 from repro.system.builder import Chip, build_system
 from repro.system.config import SystemConfig
-from repro.system.stats import SimResult, breakdown_from_records
+from repro.system.stats import SimResult
 
 
 def _parse_scale(raw: str) -> float:
@@ -108,6 +108,7 @@ def simulate(
     validate: Union[bool, str, None] = None,
     trace: Optional["object"] = None,
     kernel: Optional[str] = None,
+    obs: Union[bool, str, None, "object"] = None,
 ) -> SimResult:
     """Run one configuration against one workload.
 
@@ -138,10 +139,27 @@ def simulate(
         ``"reference"`` (the retained baseline loop the fuzzer's
         differential oracle compares against). ``None`` defers to
         ``$REPRO_KERNEL``, defaulting to ``"fast"``.
+    obs:
+        Observability (see :mod:`repro.obs`): ``True``/"on" samples
+        metrics + time series into ``extras["obs"]``, ``"profile"``
+        additionally profiles the event kernel, ``False``/"off"
+        disables. A pre-built :class:`~repro.obs.ObsCollector` is used
+        directly (the caller keeps it for exporting, profile included).
+        ``None`` defers to ``$REPRO_OBS``. Observation never changes
+        results: the sampler only reads state and its pending tick is
+        cancelled when the last core drains, so every ``SimResult``
+        field outside ``extras["obs"]`` is identical obs on or off.
     """
     from repro.engine.kernel import Simulator
     from repro.exec.cache import config_digest
+    from repro.obs import ObsCollector, resolve_obs_mode
     from repro.validate import InvariantChecker, TraceRecorder, resolve_validate_mode
+
+    if isinstance(obs, ObsCollector):
+        collector: Optional[ObsCollector] = obs
+    else:
+        obs_mode = resolve_obs_mode(obs)
+        collector = ObsCollector(mode=obs_mode) if obs_mode != "off" else None
 
     mode = resolve_validate_mode(validate)
     if mode == "off" and trace is not None:
@@ -208,9 +226,20 @@ def simulate(
     chip.begin_measurement()
     t0 = sim.now
     remaining[0] = n_active
+
+    def _meas_done(core) -> None:
+        remaining[0] -= 1
+        if remaining[0] == 0 and collector is not None:
+            # Cancel the pending sampler tick so the clock stops at the
+            # last real event, exactly as it would without observability.
+            collector.stop()
+
+    if collector is not None:
+        collector.attach(sim, chip)
+        collector.start()
     for c in range(n_active):
         core = chip.cores[c]
-        core.on_done = _warm_done
+        core.on_done = _meas_done
         core.start(meas[c])
     sim.run(until=max_ns * 2)
     if remaining[0] != 0:
@@ -221,7 +250,7 @@ def simulate(
     active = chip.cores[:n_active]
     core_ipcs = [c.ipc for c in active]
     instructions = sum(c.total_instrs for c in active)
-    bd = breakdown_from_records(chip.lat_records)
+    bd = chip.lat.summary()
 
     bytes_total = sum(ch.stats.get("bytes", 0.0) for ch in chip.ddr_channels)
     bytes_rd = sum(ch.stats.get("bytes_rd", 0.0) for ch in chip.ddr_channels)
@@ -248,6 +277,11 @@ def simulate(
     if checker is not None:
         checker.finish(chip, elapsed)
         extras["invariant_violations"] = checker.report()
+    if collector is not None:
+        collector.finalize(elapsed)
+        # Deterministic payload only (no profile wall times): the fuzz
+        # oracles diff full results across kernels and cache hits.
+        extras["obs"] = collector.snapshot(with_profile=False)
 
     return SimResult(
         config_name=cfg.name,
@@ -263,6 +297,9 @@ def simulate(
         avg_dram=bd["dram"],
         avg_cxl=bd["cxl"],
         p90_miss_latency=bd["p90"],
+        p50_miss_latency=bd["p50"],
+        p99_miss_latency=bd["p99"],
+        p999_miss_latency=bd["p999"],
         bandwidth_gbps=bw,
         read_bandwidth_gbps=bytes_rd / elapsed if elapsed > 0 else 0.0,
         write_bandwidth_gbps=bytes_wr / elapsed if elapsed > 0 else 0.0,

@@ -7,6 +7,8 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.obs.metrics import StreamingHistogram
+
 
 @dataclass
 class SimResult:
@@ -48,6 +50,13 @@ class SimResult:
     calm_false_neg_rate: float = 0.0
     calm_fraction: float = 0.0          # fraction of L2 misses that went CALM
 
+    # Tail latency quantiles beyond p90 (ns). Estimated from the
+    # streaming log-bucketed histogram (<=1% relative error); defaulted
+    # so hand-built results and older payloads stay constructible.
+    p50_miss_latency: float = 0.0
+    p99_miss_latency: float = 0.0
+    p999_miss_latency: float = 0.0
+
     #: Free-form per-run extras. Mostly float counters; when validation is
     #: enabled (see :mod:`repro.validate`) also holds the nested
     #: ``"invariant_violations"`` report dict.
@@ -88,6 +97,68 @@ class SimResult:
             f"bw={self.bandwidth_gbps:5.1f}GB/s ({100 * self.bandwidth_utilization:4.1f}%) "
             f"MPKI={self.llc_mpki:5.1f}"
         )
+
+
+class LatencyBreakdown:
+    """Streaming aggregation of per-access latency components.
+
+    Replaces the old per-run ``lat_records`` list (one 5-tuple per
+    measured access, unbounded memory) with running component sums plus
+    a :class:`~repro.obs.metrics.StreamingHistogram` of total latency.
+    Means are exact; quantiles carry the histogram's <=1% relative
+    error. The histogram is mergeable, which is what lets sweep-level
+    aggregation combine per-job distributions into a fleet view.
+    """
+
+    __slots__ = ("n", "sum_total", "sum_onchip", "sum_queuing",
+                 "sum_dram", "sum_cxl", "hist")
+
+    def __init__(self, alpha: float = 0.01) -> None:
+        self.hist = StreamingHistogram(alpha=alpha)
+        self.reset()
+
+    def reset(self) -> None:
+        self.n = 0
+        self.sum_total = 0.0
+        self.sum_onchip = 0.0
+        self.sum_queuing = 0.0
+        self.sum_dram = 0.0
+        self.sum_cxl = 0.0
+        h = self.hist
+        self.hist = StreamingHistogram(alpha=h.alpha)
+
+    def record(self, total: float, onchip: float, queuing: float,
+               dram: float, cxl: float) -> None:
+        """Add one measured access (hot path)."""
+        self.n += 1
+        self.sum_total += total
+        self.sum_onchip += onchip
+        self.sum_queuing += queuing
+        self.sum_dram += dram
+        self.sum_cxl += cxl
+        self.hist.record(total)
+
+    def record_hit(self, total: float) -> None:
+        """An LLC hit: the whole latency is on-chip."""
+        self.record(total, total, 0.0, 0.0, 0.0)
+
+    def summary(self) -> Dict[str, float]:
+        """Component means plus total-latency quantiles (ns)."""
+        n = self.n
+        if n == 0:
+            return {"n": 0, "total": 0.0, "onchip": 0.0, "queuing": 0.0,
+                    "dram": 0.0, "cxl": 0.0,
+                    "p50": 0.0, "p90": 0.0, "p99": 0.0, "p999": 0.0}
+        p50, p90, p99, p999 = self.hist.quantiles((0.50, 0.90, 0.99, 0.999))
+        return {
+            "n": n,
+            "total": self.sum_total / n,
+            "onchip": self.sum_onchip / n,
+            "queuing": self.sum_queuing / n,
+            "dram": self.sum_dram / n,
+            "cxl": self.sum_cxl / n,
+            "p50": p50, "p90": p90, "p99": p99, "p999": p999,
+        }
 
 
 def breakdown_from_records(records: List[tuple]) -> Dict[str, float]:

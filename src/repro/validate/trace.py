@@ -91,6 +91,7 @@ class TraceRecorder:
     def export_jsonl(self, path: Union[str, Path]) -> Path:
         """Write one JSON timeline per line; returns the path."""
         path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
         with open(path, "w", encoding="utf-8") as fh:
             for row in self.rows():
                 fh.write(json.dumps(row, sort_keys=True) + "\n")
@@ -99,13 +100,29 @@ class TraceRecorder:
     def export_npy(self, path: Union[str, Path]) -> Path:
         """Write the structured array as ``.npy``; returns the path."""
         path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
         np.save(path, self.to_array())
         # np.save appends .npy when missing; report the real file.
         return path if path.suffix == ".npy" else path.with_suffix(path.suffix + ".npy")
 
     def export(self, path: Union[str, Path], fmt: Optional[str] = None) -> Path:
-        """Export by explicit format or by file suffix (default: jsonl)."""
-        fmt = fmt or ("npy" if str(path).endswith(".npy") else "jsonl")
+        """Export by explicit format or by file suffix.
+
+        Without ``fmt``, the suffix picks the format (``.jsonl`` /
+        ``.npy``); an unrecognized suffix is an error rather than a
+        silent fall-through, so a typo like ``trace.jsnl`` can't quietly
+        produce the wrong format.
+        """
+        if fmt is None:
+            suffix = Path(path).suffix.lower()
+            if suffix in (".jsonl", ".json"):
+                fmt = "jsonl"
+            elif suffix == ".npy":
+                fmt = "npy"
+            else:
+                raise ValueError(
+                    f"cannot infer trace format from suffix {suffix!r} for "
+                    f"{path}; use a .jsonl/.npy path or pass fmt='jsonl'/'npy'")
         if fmt == "jsonl":
             return self.export_jsonl(path)
         if fmt == "npy":

@@ -94,3 +94,42 @@ class TestCommands:
     def test_sweep_unknown_config(self, capsys, tmp_path):
         assert main(["sweep", "--configs", "warpdrive",
                      "--cache-dir", str(tmp_path)]) == 2
+
+    def test_run_obs_then_report(self, capsys, tmp_path):
+        out_path = tmp_path / "metrics" / "obs.jsonl"
+        rc = main(["run", "--workload", "mcf", "--ops", "300",
+                   "--config", "coaxial-4x", "--obs", str(out_path)])
+        assert rc == 0
+        run_out = capsys.readouterr().out
+        assert "p50" in run_out and "p99.9" in run_out
+        assert out_path.exists()
+        rc = main(["obs", "report", str(out_path)])
+        assert rc == 0
+        report = capsys.readouterr().out
+        assert "Kernel profile" in report
+        assert "repro_miss_latency_ns" in report
+        assert "p99" in report
+
+    def test_obs_report_missing_file(self, capsys, tmp_path):
+        assert main(["obs", "report", str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_sweep_with_obs_fleet(self, capsys, tmp_path):
+        import json
+        argv = ["sweep", "--configs", "ddr-baseline", "--workloads", "mcf",
+                "--ops", "250", "--jobs", "1", "--quiet", "--obs", "on",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--bench-out", str(tmp_path / "BENCH_sweep.json")]
+        assert main(argv) == 0
+        capsys.readouterr()
+        bench = json.loads((tmp_path / "BENCH_sweep.json").read_text())
+        assert bench["fleet"]["slowest_jobs"]
+        assert bench["fleet"]["miss_latency_ns"]["count"] > 0
+
+    def test_run_obs_unknown_suffix_rejected_before_run(self, capsys,
+                                                        tmp_path):
+        rc = main(["run", "--workload", "mcf", "--ops", "200",
+                   "--obs", str(tmp_path / "metrics.xml")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown metrics export format" in err
+        assert not (tmp_path / "metrics.xml").exists()

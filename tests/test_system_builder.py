@@ -159,5 +159,5 @@ class TestMissPath:
         assert chip.stats["l2_misses"] == 1
         chip.begin_measurement()
         assert chip.stats["l2_misses"] == 0
-        assert chip.lat_records == []
+        assert chip.lat.n == 0
         assert chip.measuring
