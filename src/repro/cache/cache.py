@@ -36,6 +36,7 @@ class CacheArray:
     """
 
     __slots__ = ("sets", "ways", "_sets", "_policy", "_policy_is_lru",
+                 "_policy_bind", "_mask", "_shift",
                  "n_lookups", "n_hits", "n_fills", "n_evictions", "n_dirty_evictions")
 
     def __init__(self, sets: int, ways: int, policy: str = "lru") -> None:
@@ -48,6 +49,11 @@ class CacheArray:
         self._sets: List[Dict[int, bool]] = [dict() for _ in range(sets)]
         self._policy = make_policy(policy)
         self._policy_is_lru = isinstance(self._policy, LRUPolicy)
+        self._policy_bind = getattr(self._policy, "bind_set", None)
+        # Set-index mask and tag shift, precomputed once: _locate is the
+        # single hottest pure function in the simulator.
+        self._mask = sets - 1
+        self._shift = sets.bit_length() - 1
         self.n_lookups = 0
         self.n_hits = 0
         self.n_fills = 0
@@ -57,16 +63,17 @@ class CacheArray:
     # -- address arithmetic --------------------------------------------------
     def _locate(self, addr: int) -> Tuple[int, int]:
         line = addr >> LINE_SHIFT
-        return line & (self.sets - 1), line >> (self.sets.bit_length() - 1)
+        return line & self._mask, line >> self._shift
 
     def _addr_of(self, set_idx: int, tag: int) -> int:
-        return ((tag << (self.sets.bit_length() - 1)) | set_idx) << LINE_SHIFT
+        return ((tag << self._shift) | set_idx) << LINE_SHIFT
 
     # -- operations ------------------------------------------------------------
     def lookup(self, addr: int, is_write: bool = False) -> bool:
         """Access ``addr``; returns hit. Updates recency and dirty state."""
-        si, tag = self._locate(addr)
-        s = self._sets[si]
+        line = addr >> LINE_SHIFT
+        s = self._sets[line & self._mask]
+        tag = line >> self._shift
         self.n_lookups += 1
         if tag in s:
             self.n_hits += 1
@@ -74,8 +81,8 @@ class CacheArray:
                 dirty = s.pop(tag)
                 s[tag] = dirty or is_write
             else:
-                if hasattr(self._policy, "bind_set"):
-                    self._policy.bind_set(si)
+                if self._policy_bind is not None:
+                    self._policy_bind(line & self._mask)
                 self._policy.on_hit(s, tag)
                 if is_write:
                     s[tag] = True
@@ -84,8 +91,8 @@ class CacheArray:
 
     def probe(self, addr: int) -> bool:
         """Presence check without updating recency or counters."""
-        si, tag = self._locate(addr)
-        return tag in self._sets[si]
+        line = addr >> LINE_SHIFT
+        return (line >> self._shift) in self._sets[line & self._mask]
 
     def fill(self, addr: int, dirty: bool = False) -> Optional[Tuple[int, bool]]:
         """Insert the line for ``addr``.
@@ -93,10 +100,29 @@ class CacheArray:
         Returns ``(victim_addr, victim_dirty)`` if an eviction occurred,
         else ``None``. Filling a present line just refreshes it.
         """
-        si, tag = self._locate(addr)
+        line = addr >> LINE_SHIFT
+        si = line & self._mask
+        tag = line >> self._shift
         s = self._sets[si]
-        if hasattr(self._policy, "bind_set"):
-            self._policy.bind_set(si)
+        if self._policy_is_lru:
+            # Inlined LRUPolicy: dict insertion order IS the recency order.
+            if tag in s:
+                was_dirty = s.pop(tag)
+                s[tag] = was_dirty or dirty
+                return None
+            victim = None
+            if len(s) >= self.ways:
+                vtag = next(iter(s))
+                vdirty = s.pop(vtag)
+                self.n_evictions += 1
+                if vdirty:
+                    self.n_dirty_evictions += 1
+                victim = (((vtag << self._shift) | si) << LINE_SHIFT, vdirty)
+            s[tag] = dirty
+            self.n_fills += 1
+            return victim
+        if self._policy_bind is not None:
+            self._policy_bind(si)
         if tag in s:
             was_dirty = s.pop(tag)
             self._policy.on_fill(s, tag, was_dirty or dirty)
@@ -115,13 +141,14 @@ class CacheArray:
 
     def invalidate(self, addr: int) -> Optional[bool]:
         """Remove the line; returns its dirty bit, or ``None`` if absent."""
-        si, tag = self._locate(addr)
-        return self._sets[si].pop(tag, None)
+        line = addr >> LINE_SHIFT
+        return self._sets[line & self._mask].pop(line >> self._shift, None)
 
     def set_dirty(self, addr: int) -> bool:
         """Mark the line dirty if present; returns presence."""
-        si, tag = self._locate(addr)
-        s = self._sets[si]
+        line = addr >> LINE_SHIFT
+        s = self._sets[line & self._mask]
+        tag = line >> self._shift
         if tag in s:
             s[tag] = True
             return True

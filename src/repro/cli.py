@@ -84,7 +84,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         # explicit --obs run collects the kernel profile as well.
         collector = ObsCollector(mode=args.obs_mode)
     r = simulate(cfg, wl, ops_per_core=args.ops, seed=args.seed,
-                 validate=args.validate,
+                 validate=args.validate, kernel=args.kernel,
                  obs=collector if collector is not None else None)
     print(r.summary())
     print(f"  miss latency     : p50 {r.p50_miss_latency:.1f} / "
@@ -224,7 +224,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"error: {e}", file=sys.stderr)
         return 2
     jobs = expand_grid(configs, workloads, ops=args.ops, seeds=seeds,
-                       validate=args.validate, obs=args.obs)
+                       validate=args.validate, obs=args.obs,
+                       kernel=args.kernel)
     print(f"sweep: {len(configs)} config(s) x {len(workloads)} workload(s) x "
           f"{len(seeds)} seed(s) = {len(jobs)} jobs on {workers} worker(s)")
 
@@ -296,7 +297,8 @@ def cmd_parity_run(args: argparse.Namespace) -> int:
 
     suite = _parity_suite(args)
     measured = evaluate(suite, workers=args.jobs,
-                        progress=None if args.quiet else _parity_progress)
+                        progress=None if args.quiet else _parity_progress,
+                        kernel=getattr(args, "kernel", None))
     rows = []
     out_of_band = []
     for m in REGISTRY:
@@ -409,6 +411,62 @@ def cmd_bench_bless(args: argparse.Namespace) -> int:
         print(f"error: {e}", file=sys.stderr)
         return 2
     print(f"perf baseline blessed -> {out}")
+    return 0
+
+
+def cmd_bench_run(args: argparse.Namespace) -> int:
+    """Measure dispatch-loop throughput per kernel; optional ratio gate."""
+    from repro.engine.kernel import KERNEL_MODES
+    from repro.exec.perf import kernel_bench_record, write_bench
+    from repro.parity import GoldenError, load_bench_baseline, record_events_per_s
+
+    kernels = _parse_list(args.kernels)
+    for k in kernels:
+        if k not in KERNEL_MODES:
+            print(f"unknown kernel {k!r}; choose from {KERNEL_MODES}",
+                  file=sys.stderr)
+            return 2
+    baseline_eps = None
+    if args.golden:
+        try:
+            baseline_eps = record_events_per_s(
+                load_bench_baseline(args.golden), args.golden)
+        except GoldenError as e:
+            if args.min_ratio is not None:
+                print(f"error: {e}", file=sys.stderr)
+                return 2
+            print(f"note: no usable baseline ({e}); ratios omitted",
+                  file=sys.stderr)
+    progress = None if args.quiet else \
+        (lambda msg: print(f"  {msg}", file=sys.stderr))
+    record = kernel_bench_record(
+        kernels, ops=args.ops, seed=args.seed, repeats=args.repeats,
+        baseline_eps=baseline_eps, progress=progress)
+    rows = []
+    for k in kernels:
+        ent = record["kernels"][k]
+        ratio = ent.get("ratio_vs_baseline")
+        rows.append([k, f"{ent['events']:,}", f"{ent['wall_s']:.2f}",
+                     f"{ent['events_per_s']:,.0f}",
+                     "-" if ratio is None else f"{ratio:.2f}x"])
+    print(format_table(
+        ["kernel", "events", "wall s", "events/s", "vs baseline"], rows))
+    out = write_bench(record, args.out, force=args.force)
+    print(f"kernel benchmark written to {out}")
+    if args.min_ratio is not None:
+        gated = args.gate_kernel
+        if gated not in record["kernels"]:
+            print(f"error: gate kernel {gated!r} was not measured "
+                  f"(kernels: {', '.join(kernels)})", file=sys.stderr)
+            return 2
+        ratio = record["kernels"][gated].get("ratio_vs_baseline")
+        if ratio is None or ratio < args.min_ratio:
+            print(f"PERF GATE FAILED: {gated} kernel at "
+                  f"{ratio if ratio is not None else 'n/a'}x vs blessed "
+                  f"baseline; need >= {args.min_ratio}x", file=sys.stderr)
+            return 1
+        print(f"perf gate passed: {gated} kernel {ratio:.2f}x >= "
+              f"{args.min_ratio}x baseline")
     return 0
 
 
@@ -588,6 +646,10 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["on", "profile"],
                     help="what --obs collects: metrics+series ('on') or "
                          "additionally the kernel profile (default)")
+    pr.add_argument("--kernel", default=None,
+                    choices=["fast", "reference", "batch"],
+                    help="dispatch-loop mode (default: fast); all modes "
+                         "produce bit-identical results")
     pr.set_defaults(fn=cmd_run)
 
     pt = sub.add_parser(
@@ -650,6 +712,10 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--obs", default=None, choices=["off", "on", "profile"],
                     help="per-job observability; enables the fleet metric "
                          "rollup in the benchmark record (cache hits skip it)")
+    ps.add_argument("--kernel", default=None,
+                    choices=["fast", "reference", "batch"],
+                    help="dispatch-loop mode for uncached jobs; combine "
+                         "with --no-cache to actually exercise the loop")
     ps.set_defaults(fn=cmd_sweep)
 
     po = sub.add_parser(
@@ -683,6 +749,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parity_suite_args(ppr)
     ppr.add_argument("--json", default=None,
                      help="also dump measured values as JSON to this path")
+    ppr.add_argument("--kernel", default=None,
+                     choices=["fast", "reference", "batch"],
+                     help="dispatch-loop mode for uncached runs (results "
+                          "are bit-identical across kernels)")
     ppr.set_defaults(fn=cmd_parity_run)
 
     ppc = psub.add_parser(
@@ -702,8 +772,35 @@ def build_parser() -> argparse.ArgumentParser:
     ppb.set_defaults(fn=cmd_parity_bless)
 
     pb = sub.add_parser(
-        "bench", help="events-per-second perf gate: compare / bless")
+        "bench", help="events-per-second perf gate: run / compare / bless")
     bsub = pb.add_subparsers(dest="bench_command", required=True)
+
+    pbr = bsub.add_parser(
+        "run", help="measure per-kernel dispatch-loop throughput "
+                    "(cache-free, in-process)")
+    pbr.add_argument("--kernels", default="fast,batch",
+                     help="comma list of dispatch loops to measure "
+                          "(fast/reference/batch)")
+    pbr.add_argument("--ops", type=int, default=800,
+                     help="memory ops per core per job (default 800)")
+    pbr.add_argument("--seed", type=int, default=1)
+    pbr.add_argument("--repeats", type=int, default=3,
+                     help="measurement repeats; best aggregate kept")
+    pbr.add_argument("--golden", default="goldens/bench.json",
+                     help="blessed baseline for the vs-baseline ratio "
+                          "('' to skip)")
+    pbr.add_argument("--out", default="BENCH_kernel.json",
+                     help="where to write the per-kernel record")
+    pbr.add_argument("--force", action="store_true",
+                     help="allow overwriting a committed perf baseline")
+    pbr.add_argument("--min-ratio", type=float, default=None,
+                     help="fail unless the gated kernel reaches this "
+                          "multiple of the blessed baseline events/s")
+    pbr.add_argument("--gate-kernel", default="batch",
+                     help="kernel the --min-ratio gate applies to")
+    pbr.add_argument("--quiet", action="store_true",
+                     help="suppress per-repeat progress on stderr")
+    pbr.set_defaults(fn=cmd_bench_run)
 
     pbc = bsub.add_parser(
         "compare", help="gate a fresh BENCH_sweep.json against the baseline")

@@ -23,6 +23,7 @@ from collections import deque
 from typing import Callable, Dict, List, Optional
 
 from repro.engine import Component, Simulator
+from repro.engine.soa import cumulative_instr_no
 from repro.cache.cache import CacheLevel
 from repro.cache.mshr import MSHRFile
 from repro.cpu.trace import Trace
@@ -138,13 +139,9 @@ class Core(Component):
         n = len(arr)
         self.n_ops = n
         self.comp = [-1.0] * n
-        run = 0
-        ino = []
-        for g in self.gaps:
-            run += g + 1
-            ino.append(run - 1)
+        ino = cumulative_instr_no(arr["gap"])
         self.instr_no = ino
-        self.total_instrs = run
+        self.total_instrs = ino[-1] + 1 if ino else 0
         self.done = n == 0
         t0 = self.sim.now if at is None else at
         self.start_time = t0

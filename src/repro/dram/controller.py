@@ -31,13 +31,15 @@ class _SubChannel:
     __slots__ = (
         "owner", "tm", "ranks", "reads", "writes", "overflow", "bus_free",
         "last_was_write", "draining", "pass_pending", "read_q_cap",
-        "read_q_hiwat", "write_hi", "write_lo",
+        "read_q_hiwat", "write_hi", "write_lo", "_horizon",
     )
 
     def __init__(self, owner: "DDRChannel", tm: DDR5Timing, ranks: int,
                  read_q_cap: int, write_hi: int, write_lo: int) -> None:
         self.owner = owner
         self.tm = tm
+        # One full row-miss pipeline: the scheduling-pass lookahead.
+        self._horizon = tm.tRP + tm.tRCD + tm.tCL
         self.ranks = [Rank(tm, tm.banks) for _ in range(ranks)]
         self.reads: List[Tuple[MemRequest, DramCoord]] = []
         self.writes: List[Tuple[MemRequest, DramCoord]] = []
@@ -98,10 +100,11 @@ class _SubChannel:
         """
         now = self.owner.sim.now
         tm = self.tm
+        ranks = self.ranks
         best_i = 0
         best_key = float("inf")
         for i, (req, coord) in enumerate(queue[: self.SCAN_WINDOW]):
-            bank = self.ranks[coord.rank].banks[coord.bank]
+            bank = ranks[coord.rank].banks[coord.bank]
             is_write = req.kind != READ
             if bank.is_row_hit(coord.row):
                 ready = max(now, bank.next_wr if is_write else bank.next_rd)
@@ -144,20 +147,20 @@ class _SubChannel:
         committed, preserving FR-FCFS reordering opportunity for new arrivals.
         """
         self.pass_pending = False
-        tm = self.tm
-        horizon = tm.tRP + tm.tRCD + tm.tCL  # one full row-miss pipeline
+        horizon = self._horizon
+        sim = self.owner.sim
         while True:
             queue = self._select_queue()
             if queue is None:
                 return
-            now = self.owner.sim.now
+            now = sim.now
             if self.bus_free - horizon > now + 1e-6:
                 # Bus slots are committed far enough ahead; wake up when the
                 # pipeline needs feeding again. The minimum quantum guards
                 # against float-precision livelock at the horizon boundary.
                 self.pass_pending = True
                 wake = max(self.bus_free - horizon, now + 0.01)
-                self.owner.sim.schedule_at(wake, self._schedule_pass)
+                sim.schedule_at(wake, self._schedule_pass)
                 return
             self._issue_one(queue)
 

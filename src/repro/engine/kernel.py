@@ -8,7 +8,7 @@ from typing import Any, Callable, Optional
 from repro.engine.event import Event, EventQueue
 
 #: Dispatch-loop implementations a :class:`Simulator` can run.
-KERNEL_MODES = ("fast", "reference")
+KERNEL_MODES = ("fast", "reference", "batch")
 
 
 class Simulator:
@@ -23,9 +23,12 @@ class Simulator:
 
     ``kernel`` selects the dispatch loop: ``"fast"`` (default) pops heap
     tuples inline, ``"reference"`` goes through the :class:`EventQueue`
-    ``peek_time``/``pop`` API one event at a time. Both must produce
-    bit-identical simulations — the fuzzer's differential oracle runs every
-    generated config through both and compares the full ``SimResult``.
+    ``peek_time``/``pop`` API one event at a time, and ``"batch"`` drains
+    all events sharing the current timestamp in one batch — same-cycle
+    work scheduled *from inside* the batch lands in a flat tail list
+    instead of churning the heap. All loops must produce bit-identical
+    simulations — the fuzzer's differential oracles run every generated
+    config through them and compare the full ``SimResult``.
 
     Examples
     --------
@@ -45,6 +48,12 @@ class Simulator:
         self.queue = EventQueue()
         self.events_fired: int = 0
         self.kernel = kernel
+        #: Batch-kernel landing zone. While :meth:`run_batch` is draining
+        #: the batch at ``_batch_time``, every schedule targeting exactly
+        #: that timestamp appends here (in seq order) instead of paying a
+        #: heap push + pop; ``None`` whenever no batch is being drained.
+        self._batch_tail = None
+        self._batch_time = 0.0
         #: Optional :class:`repro.obs.KernelProfiler`. When set, the fast
         #: loop is swapped for :meth:`run_profiled`, which times every
         #: callback; when ``None`` (the default) the dispatch loops are
@@ -58,7 +67,12 @@ class Simulator:
         # Inlined EventQueue.push_fast: this is the hottest call in the
         # simulator, worth saving the extra frame.
         q = self.queue
-        heapq.heappush(q._heap, (self.now + delay, q._seq, fn, args))
+        time = self.now + delay
+        tail = self._batch_tail
+        if tail is not None and time == self._batch_time:
+            tail.append((time, q._seq, fn, args))
+        else:
+            heapq.heappush(q._heap, (time, q._seq, fn, args))
         q._seq += 1
         q._live += 1
 
@@ -67,7 +81,11 @@ class Simulator:
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
         q = self.queue
-        heapq.heappush(q._heap, (time, q._seq, fn, args))
+        tail = self._batch_tail
+        if tail is not None and time == self._batch_time:
+            tail.append((time, q._seq, fn, args))
+        else:
+            heapq.heappush(q._heap, (time, q._seq, fn, args))
         q._seq += 1
         q._live += 1
 
@@ -76,14 +94,36 @@ class Simulator:
         """Like :meth:`schedule`, but returns a cancellable handle."""
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        return self.queue.push(self.now + delay, fn, *args)
+        time = self.now + delay
+        tail = self._batch_tail
+        if tail is not None and time == self._batch_time:
+            return self._push_tail(tail, time, fn, args)
+        return self.queue.push(time, fn, *args)
 
     def schedule_at_cancellable(self, time: float, fn: Callable[..., Any],
                                 *args: Any) -> Event:
         """Like :meth:`schedule_at`, but returns a cancellable handle."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        tail = self._batch_tail
+        if tail is not None and time == self._batch_time:
+            return self._push_tail(tail, time, fn, args)
         return self.queue.push(time, fn, *args)
+
+    def _push_tail(self, tail: list, time: float, fn: Callable[..., Any],
+                   args: tuple) -> Event:
+        """Append a cancellable entry to the active batch tail.
+
+        Cancellation works exactly as for heap entries: the handle records
+        its seq in the queue's cancelled set, and the batch loop skips (and
+        discards) cancelled seqs when it reaches them.
+        """
+        q = self.queue
+        seq = q._seq
+        q._seq = seq + 1
+        q._live += 1
+        tail.append((time, seq, fn, args))
+        return Event(time, seq, fn, args, q)
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Drain the event queue.
@@ -105,7 +145,13 @@ class Simulator:
             self.run_reference(until=until, max_events=max_events)
             return
         if self.profiler is not None:
+            # Profiling swaps in the per-event instrumented loop for every
+            # non-reference kernel; it is semantically identical, only the
+            # wall-clock observation differs.
             self.run_profiled(until=until, max_events=max_events)
+            return
+        if self.kernel == "batch":
+            self.run_batch(until=until, max_events=max_events)
             return
         queue = self.queue
         heap = queue._heap
@@ -142,6 +188,89 @@ class Simulator:
                 fired += 1
                 if fired >= max_events:
                     break
+        self.events_fired += fired
+
+    def run_batch(self, until: Optional[float] = None,
+                  max_events: Optional[int] = None) -> None:
+        """Batched dispatch loop: drain all events at one timestamp together.
+
+        Bit-identical to :meth:`run` — identical global ``(time, seq)``
+        firing order, ``until`` clock handling, cancellation, and
+        ``max_events`` semantics — but structured around timestamps:
+
+        - every heap entry at the head timestamp is popped into a flat
+          batch list up front (equal-time heap pops come out in seq order,
+          so the list is already ordered);
+        - while the batch is being fired, any schedule targeting exactly
+          the batch timestamp appends to a tail list instead of the heap.
+          Tail seqs are strictly greater than everything already popped,
+          so firing batch-then-tail (the tail may keep growing) preserves
+          the global order while skipping a heap push + pop per
+          same-cycle event;
+        - cancelled entries are skipped at fire time without advancing the
+          clock, exactly as the per-event loops do, which is what keeps
+          obs on/off bit-identical (a cancelled sampler tick after the
+          last real event must not move ``now``).
+        """
+        queue = self.queue
+        heap = queue._heap
+        cancelled = queue._cancelled
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        fired = 0
+        tail: list = []
+        self._batch_tail = tail
+        try:
+            while heap:
+                t0 = heap[0][0]
+                if until is not None and t0 > until:
+                    self.now = until
+                    break
+                self._batch_time = t0
+                # Phase 1: drain heap entries at t0. They all predate (have
+                # lower seqs than) anything the fired callbacks schedule at
+                # t0, which lands in `tail`, never back on the heap.
+                while True:
+                    time, seq, fn, args = heappop(heap)
+                    if cancelled and seq in cancelled:
+                        cancelled.discard(seq)
+                    else:
+                        queue._live -= 1
+                        self.now = t0
+                        fn(*args)
+                        fired += 1
+                        if max_events is not None and fired >= max_events:
+                            for e in tail:
+                                heappush(heap, e)
+                            self.events_fired += fired
+                            return
+                    if not heap or heap[0][0] != t0:
+                        break
+                # Phase 2: same-cycle follow-on work, in append (= seq)
+                # order; entries fired here may append more.
+                if tail:
+                    idx = 0
+                    while idx < len(tail):
+                        e = tail[idx]
+                        idx += 1
+                        seq = e[1]
+                        if cancelled and seq in cancelled:
+                            cancelled.discard(seq)
+                            continue
+                        queue._live -= 1
+                        self.now = t0
+                        e[2](*e[3])
+                        fired += 1
+                        if max_events is not None and fired >= max_events:
+                            # Unfired same-time entries go back on the heap
+                            # so a later run() resumes exactly here.
+                            for e in tail[idx:]:
+                                heappush(heap, e)
+                            self.events_fired += fired
+                            return
+                    del tail[:]
+        finally:
+            self._batch_tail = None
         self.events_fired += fired
 
     def run_profiled(self, until: Optional[float] = None,

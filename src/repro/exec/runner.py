@@ -68,9 +68,18 @@ class SweepJob:
     #: cache hit returns the stored result as-is (without an
     #: ``extras["obs"]`` payload if it was stored without one).
     obs: Optional[str] = None
+    #: Dispatch-loop mode forwarded to ``simulate(kernel=...)``: None
+    #: (simulate's default) or one of
+    #: :data:`repro.engine.kernel.KERNEL_MODES`. Not part of the cache key
+    #: — every kernel produces a bit-identical result — so perf
+    #: measurement of a specific kernel must bypass the cache
+    #: (``--no-cache``), or the "run" may be a replayed stored result.
+    kernel: Optional[str] = None
 
     def label(self) -> str:
-        return f"{self.config.name}/{self.workload}/ops={self.ops}/seed={self.seed}"
+        tag = f"/kernel={self.kernel}" if self.kernel else ""
+        return (f"{self.config.name}/{self.workload}/ops={self.ops}"
+                f"/seed={self.seed}{tag}")
 
 
 @dataclass
@@ -98,7 +107,7 @@ def _simulate_job(job: SweepJob) -> Tuple[SimResult, float, int]:
     t0 = _time.perf_counter()
     result = simulate(job.config, get_workload(job.workload),
                       ops_per_core=job.ops, seed=job.seed,
-                      validate=job.validate, obs=job.obs)
+                      validate=job.validate, obs=job.obs, kernel=job.kernel)
     wall = _time.perf_counter() - t0
     events = int(result.extras.get("events_fired", 0))
     return result, wall, events
@@ -108,7 +117,8 @@ def expand_grid(configs: Sequence[str], workloads: Sequence[str],
                 ops: Optional[int] = None,
                 seeds: Sequence[int] = (1,),
                 validate: Optional[str] = None,
-                obs: Optional[str] = None) -> List[SweepJob]:
+                obs: Optional[str] = None,
+                kernel: Optional[str] = None) -> List[SweepJob]:
     """Build the (config x workload x seed) job list from config names."""
     jobs = []
     for c in configs:
@@ -118,7 +128,7 @@ def expand_grid(configs: Sequence[str], workloads: Sequence[str],
         for w in workloads:
             for s in seeds:
                 jobs.append(SweepJob(cfg, w, ops, s, validate=validate,
-                                     obs=obs))
+                                     obs=obs, kernel=kernel))
     return jobs
 
 
@@ -373,10 +383,11 @@ def run_sweep(configs: Sequence[str], workloads: Sequence[str],
               progress: Optional[Callable[[int, int, JobResult], None]] = None,
               validate: Optional[str] = None,
               obs: Optional[str] = None,
+              kernel: Optional[str] = None,
               ) -> List[JobResult]:
     """One-call grid sweep: expand, run, return ordered :class:`JobResult`\\ s."""
     jobs = expand_grid(configs, workloads, ops, seeds, validate=validate,
-                       obs=obs)
+                       obs=obs, kernel=kernel)
     runner = SweepRunner(workers=workers, cache=cache,
                          job_timeout_s=job_timeout_s, retries=retries,
                          progress=progress)

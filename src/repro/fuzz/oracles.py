@@ -4,10 +4,11 @@ Three oracle classes, per the testing plan:
 
 - **Invariant** (``invariant``): run with the request-lifecycle checker on
   (:mod:`repro.validate`); any violation fails the case.
-- **Differential** (``diff_kernel``, ``diff_cache``): two executions that
-  must agree bit-for-bit — the inlined fast dispatch loop vs the retained
-  reference loop, and a cold :func:`repro.analysis.tables.run_one` vs the
-  same job served back through the on-disk result cache.
+- **Differential** (``diff_kernel``, ``diff_batch``, ``diff_cache``):
+  two executions that must agree bit-for-bit — the inlined fast dispatch
+  loop vs the retained reference loop, the batched same-timestamp loop vs
+  the same reference, and a cold :func:`repro.analysis.tables.run_one` vs
+  the same job served back through the on-disk result cache.
 - **Metamorphic** (``bw_monotone``, ``calm_r_bound``, ``asym_read_heavy``,
   ``ops_scaling``, ``channel_balance``): a transformed twin of the case
   must move the observables in a known direction, within tolerances wide
@@ -75,7 +76,8 @@ def _simulate(case: FuzzCase, *, validate: str = "off",
     return simulate(cfg if cfg is not None else build_config(case),
                     get_workload(case.workload),
                     ops_per_core=ops if ops is not None else case.ops,
-                    seed=case.seed, validate=validate, kernel=kernel,
+                    seed=case.seed, validate=validate,
+                    kernel=kernel if kernel is not None else case.kernel,
                     obs=obs)
 
 
@@ -110,6 +112,16 @@ def check_diff_kernel(case: FuzzCase) -> Optional[str]:
     if not diffs:
         return None
     return "fast vs reference kernel diverged: " + "; ".join(diffs[:5])
+
+
+def check_diff_batch(case: FuzzCase) -> Optional[str]:
+    """The batched dispatch loop agrees bit-for-bit with the reference."""
+    batch = _simulate(case, kernel="batch")
+    ref = _simulate(case, kernel="reference")
+    diffs = _result_diff(batch, ref)
+    if not diffs:
+        return None
+    return "batch vs reference kernel diverged: " + "; ".join(diffs[:5])
 
 
 def check_diff_cache(case: FuzzCase) -> Optional[str]:
@@ -340,6 +352,7 @@ class Oracle:
 ORACLES: Dict[str, Oracle] = {o.name: o for o in [
     Oracle("invariant", check_invariant),
     Oracle("diff_kernel", check_diff_kernel),
+    Oracle("diff_batch", check_diff_batch),
     Oracle("diff_cache", check_diff_cache),
     Oracle("bw_monotone", check_bw_monotone, applies=_is_cxl),
     Oracle("calm_r_bound", check_calm_r_bound,

@@ -53,6 +53,23 @@ class Mesh2D:
         self.inject_eject_cycles = inject_eject_cycles
         self.inject_eject_ns = inject_eject_cycles / freq_ghz
         self.mem_port_tiles: List[int] = list(mem_port_tiles)
+        # Dense (src, dst) -> latency table. Tile-to-tile latency is a pure
+        # function of the mesh geometry and is queried several times per
+        # L2 miss; a precomputed row-of-lists lookup replaces three nested
+        # calls per query on the hot path. Same arithmetic per pair, so
+        # values are bit-identical to computing hops*hop_ns on the fly.
+        n = rows * cols
+        hop_ns = self.hop_ns
+        ni = self.inject_eject_ns
+        self._lat: List[List[float]] = []
+        for src in range(n):
+            r1, c1 = divmod(src, cols)
+            row = []
+            for dst in range(n):
+                r2, c2 = divmod(dst, cols)
+                hops = abs(r1 - r2) + abs(c1 - c2)
+                row.append(hops * hop_ns + ni)
+            self._lat.append(row)
 
     @property
     def n_tiles(self) -> int:
@@ -72,7 +89,9 @@ class Mesh2D:
 
     def latency(self, src: int, dst: int) -> float:
         """One-way latency in ns between two tiles (incl. NI overheads)."""
-        return self.hops(src, dst) * self.hop_ns + self.inject_eject_ns
+        if not (0 <= src < self.n_tiles and 0 <= dst < self.n_tiles):
+            raise ValueError(f"tile out of range: {src} -> {dst}")
+        return self._lat[src][dst]
 
     def llc_slice_of(self, addr: int) -> int:
         """Address-interleaved LLC home slice for a line address."""

@@ -14,7 +14,7 @@ CLI: ``repro parity run|compare|bless`` and ``repro bench compare|bless``.
 
 from repro.parity.bench import (
     BenchVerdict, bless_bench, compare_bench, load_bench_baseline,
-    load_bench_record,
+    load_bench_record, record_events_per_s,
 )
 from repro.parity.evaluate import build_context, evaluate
 from repro.parity.golden import (
@@ -33,5 +33,5 @@ __all__ = [
     "GoldenError", "Verdict", "compare", "golden_payload", "load_golden",
     "render_report", "worst_status", "write_golden",
     "BenchVerdict", "bless_bench", "compare_bench", "load_bench_baseline",
-    "load_bench_record",
+    "load_bench_record", "record_events_per_s",
 ]

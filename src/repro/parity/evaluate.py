@@ -19,8 +19,12 @@ from repro.system.config import ALL_CONFIGS
 
 def build_context(suite: ParitySuite, workers: int = 1,
                   progress: Optional[Callable[[str], None]] = None,
-                  ) -> ParityContext:
-    """Simulate (or recall from cache) the full grid for ``suite``."""
+                  kernel: Optional[str] = None) -> ParityContext:
+    """Simulate (or recall from cache) the full grid for ``suite``.
+
+    ``kernel`` picks the dispatch loop for uncached runs; results are
+    bit-identical across kernels, so it does not enter the cache keys.
+    """
     if BASELINE_CONFIG not in suite.configs:
         raise ValueError(f"suite must include the {BASELINE_CONFIG!r} config")
     suites = {}
@@ -31,15 +35,16 @@ def build_context(suite: ParitySuite, workers: int = 1,
             progress(f"evaluating {name} over {len(suite.workloads)} workloads")
         suites[name] = run_suite(ALL_CONFIGS[name](), suite.workloads,
                                  ops_per_core=suite.ops, seed=suite.seed,
-                                 workers=workers)
+                                 workers=workers, kernel=kernel)
     return ParityContext(suites)
 
 
 def evaluate(suite: Optional[ParitySuite] = None, workers: int = 1,
              registry: Sequence[ParityMetric] = REGISTRY,
              progress: Optional[Callable[[str], None]] = None,
-             ) -> Dict[str, float]:
+             kernel: Optional[str] = None) -> Dict[str, float]:
     """Measure every registry metric at the suite's scale; id -> value."""
     suite = suite if suite is not None else ParitySuite()
-    ctx = build_context(suite, workers=workers, progress=progress)
+    ctx = build_context(suite, workers=workers, progress=progress,
+                        kernel=kernel)
     return {m.id: float(m.extract(ctx)) for m in registry}

@@ -62,6 +62,11 @@ class Chip(Component):
                 self.ports.append(cx)
                 self.ddr_channels.extend(cx.device.channels)
         self.port_tiles = self.mesh.default_port_tiles(len(self.ports))
+        # Hot-path locals: the dense NoC latency table and tile count are
+        # read several times per L2 miss; binding them once here keeps the
+        # miss-path callbacks free of repeated attribute chains.
+        self._mlat = self.mesh._lat
+        self._n_tiles = self.mesh.n_tiles
 
         # CALM policy, wired to the simulator clock and system bandwidth.
         self.calm = make_calm_policy(
@@ -132,18 +137,22 @@ class Chip(Component):
         line = addr & LINE_MASK
         req = MemRequest(line, READ, core.core_id, pc)
         req.t_create = now
+        n_tiles = self._n_tiles
+        lno = line >> 6
+        stile = (lno ^ (lno >> 7) ^ (lno >> 13)) % n_tiles
         req.user = {
-            "core": core, "op": op_idx, "prefetch": prefetch,
+            "core": core, "op": op_idx, "prefetch": prefetch, "stile": stile,
             "llc_state": "pending",       # pending | hit | miss
             "llc_resp_at_core": None, "mem_at_core": None, "completed": False,
         }
         calm = (not is_write) and (not prefetch) and self.calm.decide(pc, line)
         req.calm = calm
-        self.bump("prefetch_reqs" if prefetch else "l2_misses")
+        st = self.stats
+        key = "prefetch_reqs" if prefetch else "l2_misses"
+        st[key] = st.get(key, 0.0) + 1.0
 
-        ctile = self.core_tile(core.core_id)
-        stile = self.mesh.llc_slice_of(line)
-        t_lookup = now + self.mesh.latency(ctile, stile) + self.llc_hit_ns
+        ctile = core.core_id % n_tiles
+        t_lookup = now + self._mlat[ctile][stile] + self.llc_hit_ns
         self.sim.schedule_at(t_lookup, self._llc_lookup, req, stile)
 
         if calm:
@@ -155,33 +164,36 @@ class Chip(Component):
             self.checker.on_mem_submit(req)
         pidx = self.port_of(req.addr)
         port = self.ports[pidx]
-        req.user["port_tile"] = self.port_tiles[pidx]
+        ptile = self.port_tiles[pidx]
+        req.user["port_tile"] = ptile
         req.callback = self._mem_response
-        t = self.sim.now + self.mesh.latency(from_tile, self.port_tiles[pidx])
+        t = self.sim.now + self._mlat[from_tile][ptile]
         self.sim.schedule_at(t, port.submit if hasattr(port, "submit") else port.enqueue, req)
 
     def _llc_lookup(self, req: MemRequest, stile: int) -> None:
         now = self.sim.now
+        u = req.user
         hit = self.llc_slices[stile].lookup(req.addr)
         req.llc_hit = hit
         req.t_llc_done = now
-        if not req.user.get("prefetch"):
+        if not u["prefetch"]:
             self.calm.observe(req.pc, req.addr, hit, req.calm)
-        ctile = self.core_tile(req.core_id)
-        t_resp_at_core = now + self.mesh.latency(stile, ctile)
+        ctile = req.core_id % self._n_tiles
+        t_resp_at_core = now + self._mlat[stile][ctile]
+        st = self.stats
         if hit:
-            req.user["llc_state"] = "hit"
-            self.bump("llc_hits")
+            u["llc_state"] = "hit"
+            st["llc_hits"] = st.get("llc_hits", 0.0) + 1.0
             self.sim.schedule_at(t_resp_at_core, self._complete, req)
             return
-        req.user["llc_state"] = "miss"
-        self.bump("llc_misses")
+        u["llc_state"] = "miss"
+        st["llc_misses"] = st.get("llc_misses", 0.0) + 1.0
         if not req.calm:
             self._send_to_memory(req, stile)
             return
         # CALM join: LLC missed; wait for (or use already-arrived) memory data.
-        req.user["llc_resp_at_core"] = t_resp_at_core
-        mem_t = req.user["mem_at_core"]
+        u["llc_resp_at_core"] = t_resp_at_core
+        mem_t = u["mem_at_core"]
         if mem_t is not None:
             self._fill_llc(req.addr, stile)
             self.sim.schedule_at(max(mem_t, t_resp_at_core), self._complete, req)
@@ -189,69 +201,79 @@ class Chip(Component):
     def _mem_response(self, req: MemRequest) -> None:
         """Memory data arrived at the port (CPU side); cross the NoC home."""
         ptile = req.user.get("port_tile", 0)
-        ctile = self.core_tile(req.core_id)
-        t = self.sim.now + self.mesh.latency(ptile, ctile)
+        ctile = req.core_id % self._n_tiles
+        t = self.sim.now + self._mlat[ptile][ctile]
         self.sim.schedule_at(t, self._mem_at_core, req)
 
     def _mem_at_core(self, req: MemRequest) -> None:
         now = self.sim.now
         if self.checker is not None:
             self.checker.on_mem_response(req)
-        state = req.user["llc_state"]
+        u = req.user
+        state = u["llc_state"]
         if req.calm:
             if state == "hit":
                 # False positive: memory fetch wasted; LLC already served it.
-                self.bump("calm_wasted_bytes", 64)
+                st = self.stats
+                st["calm_wasted_bytes"] = st.get("calm_wasted_bytes", 0.0) + 64.0
                 return
             if state == "pending":
-                req.user["mem_at_core"] = now
+                u["mem_at_core"] = now
                 return
             # LLC miss already known: complete once the LLC response is in.
-            stile = self.mesh.llc_slice_of(req.addr)
+            stile = u["stile"]
             self._fill_llc(req.addr, stile)
-            t_done = max(now, req.user["llc_resp_at_core"])
+            t_done = max(now, u["llc_resp_at_core"])
             self.sim.schedule_at(t_done, self._complete, req)
             return
         # Serial path: fill LLC and hand the line to the core.
-        stile = self.mesh.llc_slice_of(req.addr)
-        self._fill_llc(req.addr, stile)
+        self._fill_llc(req.addr, u["stile"])
         self._complete(req)
 
     def _complete(self, req: MemRequest) -> None:
-        if req.user["completed"]:
+        u = req.user
+        if u["completed"]:
             if self.checker is not None:
                 self.checker.on_double_complete(req)
             return
-        req.user["completed"] = True
-        req.t_complete = self.sim.now
+        u["completed"] = True
+        now = self.sim.now
+        req.t_complete = now
         if self.checker is not None:
             self.checker.on_complete(req)
-        core: Core = req.user["core"]
+        core: Core = u["core"]
         if (self.measuring and req.t_create >= self.meas_start
-                and not req.user.get("prefetch")):
-            total = req.total_latency
+                and not u["prefetch"]):
+            total = now - req.t_create
             if req.llc_hit:
                 # Served on chip: the whole latency is on-chip time, even if
                 # a (wasted) CALM memory fetch is still in flight.
                 self.lat.record_hit(total)
             else:
-                queuing = req.queuing_delay
-                dram = req.dram_service
+                # Inlined MemRequest latency properties (hot path).
+                t_issue = req.t_mc_issue
+                queuing = (t_issue - req.t_mc_enqueue
+                           if t_issue >= 0 and req.t_mc_enqueue >= 0 else 0.0)
+                dram = (req.t_dram_done - t_issue
+                        if req.t_dram_done >= 0 and t_issue >= 0 else 0.0)
                 cxl = req.cxl_delay
                 onchip = max(0.0, total - queuing - dram - cxl)
                 self.lat.record(total, onchip, queuing, dram, cxl)
-        core.complete_miss(req.user["op"], req.addr)
+        core.complete_miss(u["op"], req.addr)
 
     # -- writeback path ------------------------------------------------------------
     def l2_writeback(self, core: Core, addr: int) -> None:
         """Dirty L2 eviction: allocate in the LLC (non-inclusive WB cache)."""
         line = addr & LINE_MASK
-        stile = self.mesh.llc_slice_of(line)
-        t = self.sim.now + self.mesh.latency(self.core_tile(core.core_id), stile)
+        lno = line >> 6
+        n_tiles = self._n_tiles
+        stile = (lno ^ (lno >> 7) ^ (lno >> 13)) % n_tiles
+        t = self.sim.now + self._mlat[core.core_id % n_tiles][stile]
         self.sim.schedule_at(t, self._llc_wb, line, stile)
 
     def _llc_wb(self, line: int, stile: int) -> None:
-        self.bump("l2_writebacks")
+        st = self.stats
+        st["l2_writebacks"] = st.get("l2_writebacks", 0.0) + 1.0
         self._fill_llc(line, stile, dirty=True)
 
     def _fill_llc(self, line: int, stile: int, dirty: bool = False) -> None:
@@ -261,11 +283,12 @@ class Chip(Component):
 
     def _mem_write(self, line: int, from_tile: int) -> None:
         """Posted write of a dirty LLC victim to memory."""
-        self.bump("mem_writes")
+        st = self.stats
+        st["mem_writes"] = st.get("mem_writes", 0.0) + 1.0
         pidx = self.port_of(line)
         port = self.ports[pidx]
         req = MemRequest(line, WRITE)
-        t = self.sim.now + self.mesh.latency(from_tile, self.port_tiles[pidx])
+        t = self.sim.now + self._mlat[from_tile][self.port_tiles[pidx]]
         self.sim.schedule_at(t, port.submit if hasattr(port, "submit") else port.enqueue, req)
 
     # -- measurement control ----------------------------------------------------------

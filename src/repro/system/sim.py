@@ -12,8 +12,12 @@ from __future__ import annotations
 import os
 from typing import Optional, Sequence, Union
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy-free installs
+    np = None
 
+from repro.engine.soa import warmup_columns
 from repro.cpu.trace import Trace
 from repro.system.builder import Chip, build_system
 from repro.system.config import SystemConfig
@@ -71,6 +75,107 @@ def _replay_functional(chip: Chip, core, trace: Trace) -> None:
         v1 = l1.fill(line, w)
         if v1 is not None and v1[1]:
             l2.set_dirty(v1[0])
+
+
+def _replay_functional_lru(chip: Chip, core, trace: Trace) -> None:
+    """LRU-specialized :func:`_replay_functional` (the common case).
+
+    Produces bit-identical cache *state* — same dict contents in the same
+    insertion (recency) order at every level — while stripping everything
+    the generic replay pays for that the measurement can't observe: method
+    dispatch, replacement-policy indirection, and the lookup/fill counters
+    (``Chip.begin_measurement`` resets all counters wholesale at the
+    warmup/measurement boundary, so warmup-phase counter churn is dead
+    work). The access stream is lowered to flat line/write columns by the
+    SoA layer in one vectorized pass. Only valid when every level runs the
+    LRU policy; :func:`_warmup_replay_fn` picks the right variant.
+    """
+    l1 = core.l1.array
+    l2 = core.l2.array
+    l1_sets = l1._sets
+    l1_mask = l1._mask
+    l1_shift = l1._shift
+    l1_ways = l1.ways
+    l2_sets = l2._sets
+    l2_mask = l2._mask
+    l2_shift = l2._shift
+    l2_ways = l2.ways
+    slices = chip.llc_slices
+    llc_mask = slices[0]._mask
+    llc_shift = slices[0]._shift
+    llc_ways = slices[0].ways
+    n_tiles = chip.mesh.n_tiles
+    lines, writes = warmup_columns(trace.arr)
+    for line, w in zip(lines, writes):
+        t1 = line >> l1_shift
+        s1 = l1_sets[line & l1_mask]
+        if t1 in s1:
+            d = s1.pop(t1)
+            s1[t1] = d or w
+            continue
+        si2 = line & l2_mask
+        t2 = line >> l2_shift
+        s2 = l2_sets[si2]
+        if t2 in s2:
+            # L2 hit: refresh recency/dirty, then fill L1; a dirty L1
+            # victim folds into the L2 dirty bit.
+            d = s2.pop(t2)
+            s2[t2] = d or w
+            if len(s1) >= l1_ways:
+                vtag = next(iter(s1))
+                if s1.pop(vtag):
+                    vline = (vtag << l1_shift) | (line & l1_mask)
+                    vs2 = l2_sets[vline & l2_mask]
+                    vt2 = vline >> l2_shift
+                    if vt2 in vs2:
+                        vs2[vt2] = True
+            s1[t1] = w
+            continue
+        # Full miss: touch/install the LLC home slice, then fill L2 + L1.
+        s3 = slices[(line ^ (line >> 7) ^ (line >> 13)) % n_tiles]._sets[
+            line & llc_mask]
+        t3 = line >> llc_shift
+        if t3 in s3:
+            d = s3.pop(t3)
+            s3[t3] = d
+        else:
+            if len(s3) >= llc_ways:
+                s3.pop(next(iter(s3)))  # LLC victims are dropped in warmup
+            s3[t3] = False
+        if len(s2) >= l2_ways:
+            vt = next(iter(s2))
+            if s2.pop(vt):
+                # Dirty L2 victim allocates (dirty) in its LLC home slice.
+                vline = (vt << l2_shift) | si2
+                vs3 = slices[(vline ^ (vline >> 7) ^ (vline >> 13))
+                             % n_tiles]._sets[vline & llc_mask]
+                vt3 = vline >> llc_shift
+                if vt3 in vs3:
+                    vs3.pop(vt3)
+                    vs3[vt3] = True
+                else:
+                    if len(vs3) >= llc_ways:
+                        vs3.pop(next(iter(vs3)))
+                    vs3[vt3] = True
+        s2[t2] = w
+        if len(s1) >= l1_ways:
+            vtag = next(iter(s1))
+            if s1.pop(vtag):
+                vline = (vtag << l1_shift) | (line & l1_mask)
+                vs2 = l2_sets[vline & l2_mask]
+                vt2 = vline >> l2_shift
+                if vt2 in vs2:
+                    vs2[vt2] = True
+        s1[t1] = w
+
+
+def _warmup_replay_fn(chip: Chip):
+    """Pick the functional-warmup replay for this chip's cache policies."""
+    core0 = chip.cores[0]
+    if (core0.l1.array._policy_is_lru and core0.l2.array._policy_is_lru
+            and chip.llc_slices[0]._policy_is_lru):
+        return _replay_functional_lru
+    return _replay_functional
 
 
 def _warmup_traces(chip: Chip, workload, traces, n_active: int, seed: int):
@@ -135,9 +240,10 @@ def simulate(
         measured requests' timelines (implies ``validate="on"`` if
         validation was otherwise off).
     kernel:
-        Event-dispatch loop: ``"fast"`` (inlined hot path) or
-        ``"reference"`` (the retained baseline loop the fuzzer's
-        differential oracle compares against). ``None`` defers to
+        Event-dispatch loop: ``"fast"`` (inlined hot path), ``"batch"``
+        (same-timestamp batch drain over flat arrays), or ``"reference"``
+        (the retained baseline loop the fuzzer's differential oracles
+        compare against). All three are bit-identical. ``None`` defers to
         ``$REPRO_KERNEL``, defaulting to ``"fast"``.
     obs:
         Observability (see :mod:`repro.obs`): ``True``/"on" samples
@@ -199,11 +305,12 @@ def simulate(
     #     few times installs the workload's actual hot set (the prefix's
     #     cold/stream lines are never revisited by the measured portion,
     #     so no future lines are leaked into the caches).
+    replay = _warmup_replay_fn(chip)
     for c, wtrace in enumerate(_warmup_traces(chip, spec, traces, n_active, seed)):
-        _replay_functional(chip, chip.cores[c], wtrace)
+        replay(chip, chip.cores[c], wtrace)
     for c in range(n_active):
         for _ in range(3):
-            _replay_functional(chip, chip.cores[c], warm[c])
+            replay(chip, chip.cores[c], warm[c])
 
     # Phase A: warmup.
     remaining = [n_active]
