@@ -12,6 +12,7 @@ Examples
     python -m repro area
     python -m repro power --base-cpi 2.05 --coax-cpi 1.48
     python -m repro cost --capacity 3072
+    python -m repro serve --port 8723
     python -m repro parity run
     python -m repro parity compare --strict --report parity-report.md
     python -m repro parity bless
@@ -268,6 +269,24 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"INVARIANT VIOLATIONS: {r.job.label()}: "
               f"{r.result.invariant_violation_count}", file=sys.stderr)
     return 1 if failed or dirty else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the async simulation job server (see docs/serving.md)."""
+    from repro.exec.runner import default_workers
+    from repro.serve import run_server
+
+    try:
+        pool_workers = args.pool_workers or default_workers()
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    return run_server(
+        host=args.host, port=args.port, pool_workers=pool_workers,
+        job_timeout_s=args.job_timeout, retries=args.retries,
+        max_active=args.max_active, max_queue=args.max_queue,
+        tenant_max_jobs=args.tenant_quota, no_cache=args.no_cache,
+        cache_dir=args.cache_dir, drain_s=args.drain)
 
 
 def _parity_suite(args: argparse.Namespace):
@@ -717,6 +736,34 @@ def build_parser() -> argparse.ArgumentParser:
                     help="dispatch-loop mode for uncached jobs; combine "
                          "with --no-cache to actually exercise the loop")
     ps.set_defaults(fn=cmd_sweep)
+
+    pe = sub.add_parser(
+        "serve", help="async simulation job server (HTTP + /metrics)")
+    pe.add_argument("--host", default="127.0.0.1")
+    pe.add_argument("--port", type=int, default=8723,
+                    help="listen port (0 = ephemeral; default 8723)")
+    pe.add_argument("--pool-workers", type=int, default=None,
+                    help="process-pool size per active job "
+                         "(default: REPRO_JOBS or CPU count)")
+    pe.add_argument("--max-active", type=int, default=1,
+                    help="concurrent running jobs (each owns a pool)")
+    pe.add_argument("--job-timeout", type=float, default=300.0,
+                    help="per-task deadline in seconds, from submission "
+                         "(default 300; hung workers are replaced)")
+    pe.add_argument("--retries", type=int, default=1,
+                    help="extra attempts per failed/timed-out task")
+    pe.add_argument("--max-queue", type=int, default=256,
+                    help="queued-job cap across all tenants")
+    pe.add_argument("--tenant-quota", type=int, default=8,
+                    help="per-tenant cap on queued+running jobs")
+    pe.add_argument("--no-cache", action="store_true",
+                    help="skip the shared on-disk result cache")
+    pe.add_argument("--cache-dir", default=None,
+                    help="cache root (default: REPRO_CACHE_DIR or "
+                         "~/.cache/repro)")
+    pe.add_argument("--drain", type=float, default=30.0,
+                    help="seconds to wait for active jobs on shutdown")
+    pe.set_defaults(fn=cmd_serve)
 
     po = sub.add_parser(
         "obs", help="observability: render exported metrics files")

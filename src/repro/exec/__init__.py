@@ -10,10 +10,13 @@ CLI subcommand exposes grid runs directly.
 
 from repro.exec.cache import ResultCache, job_key
 from repro.exec.perf import BaselineProtectedError, is_committed_baseline
-from repro.exec.runner import SweepJob, JobResult, SweepRunner, run_sweep
+from repro.exec.runner import (
+    PoolRunner, SweepJob, JobResult, SweepRunner, TaskOutcome, run_sweep,
+)
 
 __all__ = [
     "ResultCache", "job_key",
+    "PoolRunner", "TaskOutcome",
     "SweepJob", "JobResult", "SweepRunner", "run_sweep",
     "BaselineProtectedError", "is_committed_baseline",
 ]

@@ -3,9 +3,10 @@
 :class:`PoolRunner` is the generic layer: a list of picklable items is
 fanned across :class:`ProcessPoolExecutor` workers through one module-level
 worker function. Results come back in item order regardless of completion
-order, each item gets a waiting timeout and bounded retries, and
-``workers=1`` runs everything inline (no pool, no pickling — monkeypatches
-apply, which the fuzzer's mutation tests rely on).
+order, each item gets a deadline measured from its own submission plus
+bounded retries (a hung worker is killed and replaced, never left occupying
+a pool slot), and ``workers=1`` runs everything inline (no pool, no
+pickling — monkeypatches apply, which the fuzzer's mutation tests rely on).
 
 :class:`SweepRunner` specializes it for simulation sweeps — ``(SystemConfig,
 workload, ops, seed)`` jobs — adding the on-disk
@@ -24,8 +25,9 @@ from __future__ import annotations
 import os
 import sys
 import time as _time
-from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
-from dataclasses import dataclass
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor
+from concurrent.futures import wait as _fut_wait
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.exec.cache import ResultCache
@@ -149,6 +151,53 @@ class TaskOutcome:
     error: Optional[str] = None
 
 
+@dataclass
+class _Attempt:
+    """One in-flight pool submission: its future plus timing bookkeeping."""
+
+    future: Future
+    submitted: float
+    #: Absolute ``perf_counter`` deadline (``None`` when no timeout is set).
+    deadline: Optional[float] = None
+    #: ``perf_counter`` at completion, stamped by a done-callback so wall
+    #: time is completion-relative — never inflated by time the settle loop
+    #: spent blocked on earlier indices.
+    done_at: Optional[float] = field(default=None)
+
+    def mark_done(self, _fut: Future) -> None:
+        self.done_at = _time.perf_counter()
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear down a pool that may hold hung workers, without blocking.
+
+    ``shutdown(cancel_futures=True)`` drops queued work items, but a
+    *running* hung task would still wedge ``shutdown(wait=True)`` — and
+    interpreter exit — indefinitely, so the worker processes themselves are
+    killed. The pool is being discarded entirely; losing its in-flight
+    state is the point.
+
+    The process handles must be captured *before* ``shutdown()``: it nulls
+    out ``_processes`` unconditionally, even with ``wait=False``. SIGKILL
+    (not SIGTERM) because a worker deep in a compute loop must die now —
+    once its processes are dead the executor's manager thread observes the
+    broken pool and unwinds, so the atexit join cannot block exit.
+    """
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for p in procs:
+        try:
+            p.kill()
+        except Exception:
+            pass
+    grace = _time.perf_counter() + 5.0
+    for p in procs:
+        try:
+            p.join(timeout=max(0.0, grace - _time.perf_counter()))
+        except Exception:
+            pass
+
+
 class PoolRunner:
     """Fan picklable items across a process pool, one worker function each.
 
@@ -163,9 +212,15 @@ class PoolRunner:
         Pool size (default: :func:`default_workers`). ``1`` runs items
         inline in this process — no pool, no pickling.
     job_timeout_s:
-        Maximum seconds to *wait* for one item's result before counting a
-        failed attempt. A timed-out attempt is resubmitted; the stuck
-        worker task is abandoned to finish in the background.
+        Per-attempt deadline in seconds, measured from *submission* — not
+        from when the settle loop happens to wait on the item — so an item
+        that exceeds its budget is timed out on schedule even while the
+        loop is blocked on an earlier index. A timed-out attempt counts as
+        a failure; a retry is resubmitted with a fresh deadline. If the
+        timed-out task was already running, its worker process is replaced
+        (the pool is torn down and rebuilt; unaffected in-flight items are
+        resubmitted without being charged an attempt), so hung workers can
+        neither occupy a slot nor wedge pool shutdown.
     retries:
         Extra attempts after the first failure/timeout.
     progress:
@@ -224,48 +279,107 @@ class PoolRunner:
     def _run_pool(self, items: Sequence[Any],
                   results: List[Optional[TaskOutcome]]) -> None:
         done = 0
-        attempts: Dict[int, int] = {i: 0 for i in range(len(items))}
-        submitted: Dict[int, float] = {}
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            futures = {}
-            for i, item in enumerate(items):
-                futures[i] = pool.submit(self.worker_fn, item)
-                submitted[i] = _time.perf_counter()
-            while futures:
-                # Settle in index order for deterministic retry behaviour;
-                # items still *run* concurrently across the pool.
-                i = min(futures)
-                fut = futures.pop(i)
-                item = items[i]
-                attempts[i] += 1
-                try:
-                    value = fut.result(timeout=self.job_timeout_s)
-                    done = self._settle(
-                        TaskOutcome(index=i, item=item, value=value,
-                                    wall_s=_time.perf_counter() - submitted[i],
-                                    attempts=attempts[i]),
-                        results, done, len(items))
-                except FutureTimeout:
-                    fut.cancel()
-                    if attempts[i] <= self.retries:
-                        futures[i] = pool.submit(self.worker_fn, item)
-                        submitted[i] = _time.perf_counter()
+        total = len(items)
+        attempts: Dict[int, int] = {i: 0 for i in range(total)}
+        timeout = self.job_timeout_s
+        pending: Dict[int, _Attempt] = {}
+        pool = ProcessPoolExecutor(max_workers=self.workers)
+        # True once a *running* task has been abandoned on this pool: its
+        # worker is presumed hung, so the pool must not receive new work
+        # and must not be shut down with wait=True.
+        pool_dirty = False
+
+        def submit(i: int) -> None:
+            att = _Attempt(future=pool.submit(self.worker_fn, items[i]),
+                           submitted=_time.perf_counter())
+            if timeout is not None:
+                att.deadline = att.submitted + timeout
+            att.future.add_done_callback(att.mark_done)
+            pending[i] = att
+
+        try:
+            for i in range(total):
+                submit(i)
+            while pending:
+                # Settle every completed item, in index order for
+                # deterministic retry/progress behaviour; items still *run*
+                # concurrently across the pool.
+                for i in sorted(pending):
+                    att = pending[i]
+                    if not att.future.done():
+                        continue
+                    del pending[i]
+                    attempts[i] += 1
+                    err = att.future.exception()
+                    if err is None:
+                        wall = (att.done_at or _time.perf_counter()) \
+                            - att.submitted
+                        done = self._settle(
+                            TaskOutcome(index=i, item=items[i],
+                                        value=att.future.result(),
+                                        wall_s=wall, attempts=attempts[i]),
+                            results, done, total)
+                    elif attempts[i] <= self.retries:
+                        submit(i)
                     else:
                         done = self._settle(
-                            TaskOutcome(index=i, item=item,
+                            TaskOutcome(index=i, item=items[i],
                                         attempts=attempts[i],
-                                        error=f"timeout after {self.job_timeout_s}s"),
-                            results, done, len(items))
-                except Exception as e:
+                                        error=f"{type(err).__name__}: {err}"),
+                            results, done, total)
+                # Expire deadlines, also in index order. Each item's clock
+                # started at its own submission.
+                now = _time.perf_counter()
+                respawn: List[int] = []
+                for i in sorted(pending):
+                    att = pending[i]
+                    if att.deadline is None or now < att.deadline \
+                            or att.future.done():
+                        continue
+                    del pending[i]
+                    attempts[i] += 1
+                    if not att.future.cancel():
+                        pool_dirty = True       # already running: hung worker
                     if attempts[i] <= self.retries:
-                        futures[i] = pool.submit(self.worker_fn, item)
-                        submitted[i] = _time.perf_counter()
+                        respawn.append(i)
                     else:
                         done = self._settle(
-                            TaskOutcome(index=i, item=item,
+                            TaskOutcome(index=i, item=items[i],
                                         attempts=attempts[i],
-                                        error=f"{type(e).__name__}: {e}"),
-                            results, done, len(items))
+                                        error=f"timeout after {timeout}s"),
+                            results, done, total)
+                # A dirty pool gets replaced before anything is resubmitted:
+                # the hung worker would otherwise keep occupying a slot.
+                # Completed-but-unsettled futures keep their results; live
+                # ones are casualties of the rebuild and are resubmitted
+                # without being charged an attempt.
+                if pool_dirty and (respawn or pending):
+                    refresh = [i for i in sorted(pending)
+                               if not pending[i].future.done()]
+                    for i in refresh:
+                        del pending[i]
+                    _kill_pool(pool)
+                    pool = ProcessPoolExecutor(max_workers=self.workers)
+                    pool_dirty = False
+                    for i in refresh:
+                        submit(i)
+                for i in respawn:
+                    submit(i)
+                # Block until something completes or the nearest deadline.
+                if not pending or any(a.future.done()
+                                      for a in pending.values()):
+                    continue
+                wait_s = None
+                if timeout is not None:
+                    nearest = min(a.deadline for a in pending.values())
+                    wait_s = max(0.0, nearest - _time.perf_counter())
+                _fut_wait([a.future for a in pending.values()],
+                          timeout=wait_s, return_when=FIRST_COMPLETED)
+        finally:
+            if pool_dirty:
+                _kill_pool(pool)
+            else:
+                pool.shutdown(wait=True, cancel_futures=True)
 
 
 class SweepRunner:
@@ -284,9 +398,10 @@ class SweepRunner:
         Optional :class:`ResultCache` consulted before any job is
         submitted and updated as results arrive.
     job_timeout_s:
-        Maximum seconds to *wait* for one job's result before counting a
-        failed attempt. A timed-out attempt is resubmitted; the stuck
-        worker task is abandoned to finish in the background.
+        Per-attempt deadline in seconds, measured from the job's own
+        submission (see :class:`PoolRunner`). A timed-out attempt is
+        resubmitted with a fresh deadline; a hung worker is killed and
+        replaced rather than left occupying a pool slot.
     retries:
         Extra attempts after the first failure/timeout.
     progress:

@@ -1,14 +1,29 @@
 """Unit tests for the process-pool sweep runner."""
 
+import time
+
 import pytest
 
 from repro.exec.cache import ResultCache
 from repro.exec.runner import (
-    SweepJob, SweepRunner, default_workers, expand_grid, run_sweep,
+    PoolRunner, SweepJob, SweepRunner, default_workers, expand_grid,
+    run_sweep,
 )
 from repro.system.config import baseline_config
 
 OPS = 250
+
+
+def _sleep_return(seconds):
+    """Module-level pool worker: sleep, then echo (picklable)."""
+    time.sleep(seconds)
+    return seconds
+
+
+def _hang_forever(seconds):
+    """Module-level pool worker simulating a hung worker process."""
+    time.sleep(seconds)
+    return seconds
 
 
 class TestExpandGrid:
@@ -98,6 +113,78 @@ class TestPoolRunner:
         results = runner.run(jobs)
         assert results[0].result is not None
         assert results[1].result is None and results[1].attempts == 2
+
+
+class TestPoolRunnerDeadlines:
+    """Regression tests for the timeout/retry/accounting bugs.
+
+    Before the fix: the per-job timeout only started once the settle loop
+    *waited* on that index, a hung worker permanently occupied a pool slot
+    and wedged ``ProcessPoolExecutor.__exit__``, and ``wall_s`` included
+    time the loop spent blocked on earlier indices.
+    """
+
+    def test_hung_worker_times_out_and_pool_shuts_down(self):
+        # The hung task sleeps far beyond the timeout; the runner must
+        # settle the timeout within ~2x the deadline and return without
+        # blocking on pool shutdown (the worker process is killed).
+        timeout = 0.5
+        runner = PoolRunner(_hang_forever, workers=2,
+                            job_timeout_s=timeout, retries=0)
+        t0 = time.perf_counter()
+        (out,) = runner.run([60.0])
+        elapsed = time.perf_counter() - t0
+        assert out.value is None
+        assert "timeout" in out.error
+        assert out.attempts == 1
+        assert elapsed < 4 * timeout  # ~2x deadline + process-kill slack
+
+    def test_hung_worker_does_not_starve_siblings(self):
+        # One hung item next to fast items: the fast items must all
+        # complete even though the hung worker's slot is torn down and the
+        # survivors migrate to a fresh pool.
+        runner = PoolRunner(_hang_forever, workers=2,
+                            job_timeout_s=0.75, retries=0)
+        outs = runner.run([60.0, 0.05, 0.05, 0.05])
+        assert "timeout" in outs[0].error
+        assert [o.value for o in outs[1:]] == [0.05, 0.05, 0.05]
+
+    def test_deadline_runs_from_submission_not_settle(self):
+        # Item 1 exceeds the timeout while the loop is blocked settling
+        # item 0. Its clock started at submission, so it must be timed out
+        # at ~timeout — not given a fresh full timeout once reached.
+        timeout = 0.6
+        runner = PoolRunner(_hang_forever, workers=2,
+                            job_timeout_s=timeout, retries=0)
+        t0 = time.perf_counter()
+        outs = runner.run([0.3, 60.0])
+        elapsed = time.perf_counter() - t0
+        assert outs[0].value == 0.3
+        assert "timeout" in outs[1].error
+        # Old behaviour settled item 1 no earlier than 0.3 + timeout; the
+        # fixed runner settles it at ~timeout.
+        assert elapsed < 0.3 + timeout
+
+    def test_retry_gets_fresh_deadline_and_succeeds(self):
+        # retries=1: the first attempt times out, the resubmission gets a
+        # full fresh deadline and completes.
+        runner = PoolRunner(_sleep_return, workers=2,
+                            job_timeout_s=0.4, retries=1)
+        outs = runner.run([1.0, 0.05])
+        # item 0 sleeps past the deadline twice -> both attempts time out
+        assert outs[0].attempts == 2 and "timeout" in outs[0].error
+        assert outs[1].value == 0.05 and outs[1].attempts == 1
+
+    def test_wall_s_is_completion_relative(self):
+        # A fast item settled *after* a slow lower-index item must report
+        # its own runtime, not the time the settle loop sat blocked.
+        runner = PoolRunner(_sleep_return, workers=2)
+        outs = runner.run([0.8, 0.05])
+        assert outs[0].value == 0.8 and outs[1].value == 0.05
+        assert outs[1].wall_s < 0.5, (
+            f"fast job wall_s={outs[1].wall_s:.2f}s includes settle-loop "
+            f"blocking on the slow job")
+        assert outs[0].wall_s >= 0.7
 
 
 class TestRunSuiteWorkers:
