@@ -289,6 +289,142 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir, drain_s=args.drain)
 
 
+def cmd_fleet_broker(args: argparse.Namespace) -> int:
+    """Run the fleet work-queue broker (see docs/fleet.md)."""
+    from repro.fleet import run_broker
+
+    return run_broker(host=args.host, port=args.port, lease_s=args.lease,
+                      retries=args.retries, no_cache=args.no_cache,
+                      cache_dir=args.cache_dir)
+
+
+def cmd_fleet_worker(args: argparse.Namespace) -> int:
+    """Run one fleet worker against a broker URL."""
+    from repro.fleet import run_worker
+
+    return run_worker(broker_url=args.broker, worker_id=args.id,
+                      poll_s=args.poll, max_tasks=args.max_tasks,
+                      oneshot=not args.keep_alive, no_cache=args.no_cache,
+                      cache_dir=args.cache_dir)
+
+
+def cmd_fleet_sweep(args: argparse.Namespace) -> int:
+    """Submit a sweep grid to a fleet broker and collect merged results."""
+    import time
+
+    from repro.exec.perf import (
+        BaselineProtectedError, bench_record, format_summary, write_bench,
+    )
+    from repro.fleet import FleetClient, FleetError, expand_specs
+
+    configs = _parse_list(args.configs)
+    if args.workloads.lower() == "all":
+        workloads = workload_names()
+    elif args.workloads.lower() == "representative":
+        workloads = list(REPRESENTATIVE)
+    else:
+        workloads = _parse_list(args.workloads)
+    seeds = [int(s) for s in _parse_list(args.seeds)]
+    try:
+        specs = expand_specs(configs, workloads, ops=args.ops, seeds=seeds,
+                             validate=args.validate, obs=args.obs,
+                             kernel=args.kernel)
+    except KeyError as e:
+        print(f"error: {e.args[0]}", file=sys.stderr)
+        return 2
+
+    client = FleetClient(args.broker)
+    print(f"fleet sweep: {len(specs)} job(s) -> {client.broker_url}")
+
+    def tick(done: int, total: int) -> None:
+        if not args.quiet:
+            print(f"  settled {done}/{total}", file=sys.stderr, flush=True)
+
+    t0 = time.perf_counter()
+    try:
+        ids = client.submit(specs)
+        client.wait(ids, timeout_s=args.timeout, progress=tick)
+        results = client.results(ids)
+        status = client.tasks()
+    except FleetError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    total_wall = time.perf_counter() - t0
+    if args.drain:
+        client.drain()
+
+    rows = [[r.job.config.name, r.job.workload, r.job.seed,
+             r.result.ipc if r.result else float("nan"),
+             r.result.avg_miss_latency if r.result else float("nan"),
+             "cache" if r.cached else f"{r.wall_s:.1f}s"]
+            for r in results]
+    print(format_table(
+        ["config", "workload", "seed", "IPC", "misslat ns", "ran"], rows))
+
+    record = bench_record(results, total_wall,
+                          workers=int(status.get("workers", 0)))
+    record["fleet"]["broker"] = client.broker_url
+    print()
+    for line in format_summary(record):
+        print(line)
+    try:
+        out = write_bench(record, args.bench_out, force=args.force)
+    except BaselineProtectedError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    print(f"benchmark record written to {out}")
+
+    failed = [r for r in results if r.result is None]
+    for r in failed:
+        print(f"FAILED: {r.job.label()}: {r.error}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Successive-halving config-space search (local pool or fleet)."""
+    import json
+
+    from repro.fleet import FleetClient, FleetError, LocalExecutor, run_campaign
+
+    if args.base not in ALL_CONFIGS:
+        print(f"unknown config {args.base!r}; choose from {list(ALL_CONFIGS)}",
+              file=sys.stderr)
+        return 2
+    if args.workloads.lower() == "representative":
+        workloads = list(REPRESENTATIVE)
+    else:
+        workloads = _parse_list(args.workloads)
+
+    if args.broker:
+        executor = FleetClient(args.broker)
+        where = args.broker
+    else:
+        executor = LocalExecutor(workers=args.jobs)
+        where = f"local pool ({args.jobs or 'auto'} workers)"
+    print(f"campaign: base={args.base} search={args.search!r} "
+          f"objective={args.objective} on {where}")
+    try:
+        res = run_campaign(
+            executor, args.base, args.search, workloads,
+            objective=args.objective, ops0=args.ops0, eta=args.eta,
+            max_rungs=args.rungs, seed=args.seed, obs=args.obs,
+            timeout_s=args.timeout, log=print)
+    except (ValueError, KeyError, FleetError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    print(f"\nwinner: {res.winner.label()} "
+          f"({res.objective}={res.winner_score:.4f}) "
+          f"after {res.total_jobs} job(s), "
+          f"{res.total_sim_wall_s:.1f}s simulated, "
+          f"{res.cache_hits} cache hit(s)")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(res.to_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"campaign report written to {args.out}")
+    return 0
+
+
 def _parity_suite(args: argparse.Namespace):
     """Build a ParitySuite from CLI flags (all five config families)."""
     from repro.parity import ParitySuite
@@ -456,8 +592,8 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
                 return 2
             print(f"note: no usable baseline ({e}); ratios omitted",
                   file=sys.stderr)
-    progress = None if args.quiet else \
-        (lambda msg: print(f"  {msg}", file=sys.stderr))
+    progress = (None if args.quiet
+                else (lambda msg: print(f"  {msg}", file=sys.stderr)))
     record = kernel_bench_record(
         kernels, ops=args.ops, seed=args.seed, repeats=args.repeats,
         baseline_eps=baseline_eps, progress=progress)
@@ -494,8 +630,8 @@ def cmd_fuzz_run(args: argparse.Namespace) -> int:
 
     from repro.fuzz.harness import FuzzRunner
 
-    log = (lambda msg: None) if args.quiet else \
-        (lambda msg: print(msg, file=sys.stderr))
+    log = ((lambda msg: None) if args.quiet
+           else (lambda msg: print(msg, file=sys.stderr)))
     runner = FuzzRunner(
         trials=args.trials, seed=args.seed,
         oracles=_parse_list(args.oracles) if args.oracles else None,
@@ -642,8 +778,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = p.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list configurations and workloads") \
-       .set_defaults(fn=cmd_list)
+    sub.add_parser(
+        "list", help="list configurations and workloads"
+    ).set_defaults(fn=cmd_list)
 
     pr = sub.add_parser("run", help="simulate one config x workload")
     pr.add_argument("--config", default="coaxial-4x", choices=list(ALL_CONFIGS))
@@ -764,6 +901,112 @@ def build_parser() -> argparse.ArgumentParser:
     pe.add_argument("--drain", type=float, default=30.0,
                     help="seconds to wait for active jobs on shutdown")
     pe.set_defaults(fn=cmd_serve)
+
+    pfl = sub.add_parser(
+        "fleet", help="distributed sweep fleet: broker / worker / sweep")
+    flsub = pfl.add_subparsers(dest="fleet_command", required=True)
+
+    pflb = flsub.add_parser(
+        "broker", help="work-queue broker leasing tasks to fleet workers")
+    pflb.add_argument("--host", default="127.0.0.1")
+    pflb.add_argument("--port", type=int, default=8724,
+                      help="listen port (0 = ephemeral; default 8724)")
+    pflb.add_argument("--lease", type=float, default=60.0,
+                      help="lease seconds before an unsettled task is "
+                           "requeued (workers heartbeat at lease/3)")
+    pflb.add_argument("--retries", type=int, default=2,
+                      help="extra lease attempts before a task fails")
+    pflb.add_argument("--no-cache", action="store_true",
+                      help="skip the shared on-disk result cache")
+    pflb.add_argument("--cache-dir", default=None,
+                      help="cache root (default: REPRO_CACHE_DIR or "
+                           "~/.cache/repro)")
+    pflb.set_defaults(fn=cmd_fleet_broker)
+
+    pflw = flsub.add_parser(
+        "worker", help="lease/simulate/settle loop against a broker")
+    pflw.add_argument("--broker", default="http://127.0.0.1:8724",
+                      help="broker URL")
+    pflw.add_argument("--id", default=None,
+                      help="worker identity (default: hostname-pid)")
+    pflw.add_argument("--poll", type=float, default=0.5,
+                      help="seconds between empty lease polls")
+    pflw.add_argument("--max-tasks", type=int, default=1,
+                      help="tasks requested per lease call")
+    pflw.add_argument("--keep-alive", action="store_true",
+                      help="keep polling after the broker drains "
+                           "(default: exit on drain)")
+    pflw.add_argument("--no-cache", action="store_true",
+                      help="skip the local/shared result cache")
+    pflw.add_argument("--cache-dir", default=None,
+                      help="cache root (default: REPRO_CACHE_DIR or "
+                           "~/.cache/repro)")
+    pflw.set_defaults(fn=cmd_fleet_worker)
+
+    pfls = flsub.add_parser(
+        "sweep", help="submit a sweep grid to a broker, wait, merge results")
+    pfls.add_argument("--broker", default="http://127.0.0.1:8724",
+                      help="broker URL")
+    pfls.add_argument("--configs", default="ddr-baseline,coaxial-4x",
+                      help="comma list of config names")
+    pfls.add_argument("--workloads", default="representative",
+                      help="comma list, or 'representative' / 'all'")
+    pfls.add_argument("--ops", type=int, default=None,
+                      help="memory ops per core (default: workload default)")
+    pfls.add_argument("--seeds", default="1", help="comma list of seeds")
+    pfls.add_argument("--timeout", type=float, default=600.0,
+                      help="seconds to wait for the whole grid to settle")
+    pfls.add_argument("--bench-out", default="BENCH_fleet.json",
+                      help="where to write the benchmark record")
+    pfls.add_argument("--force", action="store_true",
+                      help="allow overwriting a committed perf baseline")
+    pfls.add_argument("--drain", action="store_true",
+                      help="tell the broker to drain after results arrive "
+                           "(oneshot workers then exit)")
+    pfls.add_argument("--quiet", action="store_true",
+                      help="suppress the settle progress ticker")
+    pfls.add_argument("--validate", default=None,
+                      choices=["off", "on", "strict"],
+                      help="invariant auditing per job")
+    pfls.add_argument("--obs", default=None, choices=["off", "on", "profile"],
+                      help="per-job observability; enables exact fleet "
+                           "quantile merging in the benchmark record")
+    pfls.add_argument("--kernel", default=None,
+                      choices=["fast", "reference", "batch"],
+                      help="dispatch-loop mode for uncached jobs")
+    pfls.set_defaults(fn=cmd_fleet_sweep)
+
+    pca = sub.add_parser(
+        "campaign", help="successive-halving config search (pool or fleet)")
+    pca.add_argument("--base", default="coaxial-4x",
+                     help="base config the search perturbs")
+    pca.add_argument("--search", required=True,
+                     help="knob values, e.g. "
+                          "'calm_policy=calm_50,calm_90;cxl=x8,asym'")
+    pca.add_argument("--workloads", default="representative",
+                     help="comma list, or 'representative'")
+    pca.add_argument("--objective", default="ipc",
+                     choices=["ipc", "miss_latency", "speedup"],
+                     help="score to optimize (speedup is vs the unmodified "
+                          "base config at the same rung budget)")
+    pca.add_argument("--ops0", type=int, default=500,
+                     help="ops budget of the first rung")
+    pca.add_argument("--eta", type=int, default=3,
+                     help="halving factor: keep top 1/eta, multiply ops by eta")
+    pca.add_argument("--rungs", type=int, default=4,
+                     help="maximum number of rungs")
+    pca.add_argument("--seed", type=int, default=1)
+    pca.add_argument("--obs", default=None, choices=["off", "on", "profile"])
+    pca.add_argument("--broker", default=None,
+                     help="run rungs on this fleet broker URL instead of "
+                          "the local process pool")
+    pca.add_argument("--jobs", type=int, default=None,
+                     help="local pool workers when no --broker is given")
+    pca.add_argument("--timeout", type=float, default=1800.0,
+                     help="per-rung settle timeout in seconds")
+    pca.add_argument("--out", default=None,
+                     help="write the campaign report JSON here")
+    pca.set_defaults(fn=cmd_campaign)
 
     po = sub.add_parser(
         "obs", help="observability: render exported metrics files")
@@ -922,8 +1165,9 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("--requests", type=int, default=2500)
     pv.set_defaults(fn=cmd_curve)
 
-    sub.add_parser("area", help="pin/area tables (Fig 1, Tables I-II)") \
-       .set_defaults(fn=cmd_area)
+    sub.add_parser(
+        "area", help="pin/area tables (Fig 1, Tables I-II)"
+    ).set_defaults(fn=cmd_area)
 
     pw = sub.add_parser("power", help="power/EDP comparison (Table V)")
     pw.add_argument("--base-cpi", type=float, default=2.05)

@@ -312,8 +312,8 @@ class PoolRunner:
                     attempts[i] += 1
                     err = att.future.exception()
                     if err is None:
-                        wall = (att.done_at or _time.perf_counter()) \
-                            - att.submitted
+                        wall = ((att.done_at or _time.perf_counter())
+                                - att.submitted)
                         done = self._settle(
                             TaskOutcome(index=i, item=items[i],
                                         value=att.future.result(),
@@ -333,8 +333,8 @@ class PoolRunner:
                 respawn: List[int] = []
                 for i in sorted(pending):
                     att = pending[i]
-                    if att.deadline is None or now < att.deadline \
-                            or att.future.done():
+                    if (att.deadline is None or now < att.deadline
+                            or att.future.done()):
                         continue
                     del pending[i]
                     attempts[i] += 1

@@ -371,8 +371,8 @@ ORACLES: Dict[str, Oracle] = {o.name: o for o in [
 def applicable_oracles(case: FuzzCase,
                        names: Optional[List[str]] = None) -> List[str]:
     """Oracle names to run for one case (the default set, or ``names``)."""
-    pool = [ORACLES[n] for n in names] if names else \
-        [o for o in ORACLES.values() if o.default]
+    pool = ([ORACLES[n] for n in names] if names
+            else [o for o in ORACLES.values() if o.default])
     return [o.name for o in pool if o.applies(case)]
 
 

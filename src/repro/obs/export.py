@@ -151,8 +151,8 @@ def parse_prometheus(text: str) -> Dict[str, Dict]:
         value = float(value_text.replace("+Inf", "inf").replace("-Inf", "-inf"))
         base = name
         for suffix in ("_bucket", "_sum", "_count"):
-            if name.endswith(suffix) and name[:-len(suffix)] in types \
-                    and types[name[:-len(suffix)]] == "histogram":
+            if (name.endswith(suffix) and name[:-len(suffix)] in types
+                    and types[name[:-len(suffix)]] == "histogram"):
                 base = name[:-len(suffix)]
                 break
         ent = metrics.setdefault(

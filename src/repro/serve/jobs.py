@@ -63,8 +63,8 @@ def parse_job_request(payload: Dict[str, Any],
             return []
         if isinstance(val, str):
             val = [v.strip() for v in val.split(",") if v.strip()]
-        if not isinstance(val, list) or not val \
-                or not all(isinstance(v, str) for v in val):
+        if (not isinstance(val, list) or not val
+                or not all(isinstance(v, str) for v in val)):
             raise BadRequest(f"{key!r} must be a non-empty list of strings")
         return val
 
@@ -81,8 +81,8 @@ def parse_job_request(payload: Dict[str, Any],
     seeds = payload.get("seeds", [1])
     if isinstance(seeds, int):
         seeds = [seeds]
-    if not isinstance(seeds, list) or not seeds \
-            or not all(isinstance(s, int) for s in seeds):
+    if (not isinstance(seeds, list) or not seeds
+            or not all(isinstance(s, int) for s in seeds)):
         raise BadRequest("'seeds' must be a non-empty list of integers")
 
     priority = payload.get("priority", 0)

@@ -37,8 +37,8 @@ class QuotaExceeded(Exception):
 
 
 def _is_timeout(jr: JobResult) -> bool:
-    return jr.result is None and jr.error is not None \
-        and jr.error.startswith("timeout")
+    return (jr.result is None and jr.error is not None
+            and jr.error.startswith("timeout"))
 
 
 class Scheduler:

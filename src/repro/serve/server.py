@@ -30,8 +30,9 @@ from pathlib import Path
 from typing import AsyncIterator, Optional
 
 from repro.exec.cache import ResultCache, disk_cache_enabled
-from repro.serve.http import HttpError, Request, Response, Router, \
-    serve_connection
+from repro.serve.http import (
+    HttpError, Request, Response, Router, serve_connection,
+)
 from repro.serve.jobs import (
     TERMINAL_STATES, BadRequest, Job, JobStore, parse_job_request,
 )

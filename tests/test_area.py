@@ -37,8 +37,8 @@ class TestAreaModel:
         assert AREA_TABLE["ddr_channel"].area == 10.8
 
     def test_x8_pcie_is_55pct_of_ddr(self):
-        assert AREA_TABLE["pcie_x8"].area / AREA_TABLE["ddr_channel"].area == \
-            pytest.approx(0.55, abs=0.01)
+        ratio = AREA_TABLE["pcie_x8"].area / AREA_TABLE["ddr_channel"].area
+        assert ratio == pytest.approx(0.55, abs=0.01)
 
     def test_table2_relative_areas(self):
         rows = {r["design"]: r for r in server_design_table()}

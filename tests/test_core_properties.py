@@ -117,8 +117,8 @@ class TestCoreInvariants:
     def test_longer_latency_never_faster(self, arr):
         fast, _ = run_core(arr, latency=60.0)
         slow, _ = run_core(arr, latency=400.0)
-        assert slow.finish_time - slow.start_time >= \
-            (fast.finish_time - fast.start_time) - 1e-6
+        assert (slow.finish_time - slow.start_time
+                >= (fast.finish_time - fast.start_time) - 1e-6)
 
     @given(traces())
     @settings(max_examples=30, deadline=None)

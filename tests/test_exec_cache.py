@@ -28,8 +28,8 @@ class TestKeying:
         cfg = baseline_config()
         fp = config_fingerprint(cfg)
         for f in dataclasses.fields(cfg):
-            assert any(k == f.name or k.startswith(f.name + ".") for k in fp), \
-                f"field {f.name} missing from fingerprint"
+            assert any(k == f.name or k.startswith(f.name + ".")
+                       for k in fp), f"field {f.name} missing from fingerprint"
 
     def test_unlisted_knob_changes_key(self):
         """The old hand-listed key ignored e.g. the prefetcher knobs."""

@@ -33,8 +33,8 @@ class TestPoolDeterminism:
         for jr in pooled:
             local = _run_inprocess(jr.job.config, jr.job.workload,
                                    jr.job.ops, jr.job.seed)
-            assert dataclasses.asdict(jr.result) == dataclasses.asdict(local), \
-                f"pooled run diverged for {jr.job.label()}"
+            assert dataclasses.asdict(jr.result) == dataclasses.asdict(
+                local), f"pooled run diverged for {jr.job.label()}"
 
     def test_repeated_inprocess_runs_identical(self):
         cfg = coaxial_config()

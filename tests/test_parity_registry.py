@@ -98,8 +98,8 @@ class TestRegistry:
     def test_paper_values_inside_bands(self):
         for m in REGISTRY:
             if m.paper is not None:
-                assert m.in_band(m.paper), \
-                    f"{m.id}: paper value {m.paper} outside band {m.band}"
+                assert m.in_band(m.paper), (
+                    f"{m.id}: paper value {m.paper} outside band {m.band}")
 
     def test_tolerances_ordered(self):
         for m in REGISTRY:
