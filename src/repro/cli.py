@@ -31,8 +31,10 @@ from repro.area import bandwidth_per_pin_table, server_design_table
 from repro.area.cost import iso_capacity_comparison
 from repro.dram import load_latency_curve
 from repro.power import energy_report, system_power
+from repro.cxl.profiles import PROFILES
 from repro.system.config import ALL_CONFIGS
 from repro.system.sim import simulate
+from repro.tiering.config import TIERING_PRESETS, get_tiering
 from repro.workloads import REPRESENTATIVE, SUITES, get_workload, workload_names
 
 
@@ -62,12 +64,32 @@ def _print_violation_report(report: dict) -> None:
         print(f"    e.g. {v['message']}")
 
 
+def _device_overrides(args: argparse.Namespace) -> dict:
+    """SystemConfig overrides from --tiering/--device-profile/--cxl-backend."""
+    ov = {}
+    t = getattr(args, "tiering", None)
+    if t is not None:
+        ov["tiering"] = None if t == "none" else get_tiering(t)
+    if getattr(args, "device_profile", None) is not None:
+        ov["device_profile"] = args.device_profile
+    if getattr(args, "cxl_backend", None) is not None:
+        ov["cxl_backend"] = args.cxl_backend
+    return ov
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     cfg = ALL_CONFIGS[args.config]()
     if args.calm:
         cfg = cfg.replace(calm_policy=args.calm)
     if args.active_cores:
         cfg = cfg.replace(active_cores=args.active_cores)
+    device = _device_overrides(args)
+    if device:
+        try:
+            cfg = cfg.replace(**device)
+        except ValueError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
     wl = get_workload(args.workload)
     collector = None
     if args.obs:
@@ -224,9 +246,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     except ValueError as e:
         print(f"error: {e}", file=sys.stderr)
         return 2
-    jobs = expand_grid(configs, workloads, ops=args.ops, seeds=seeds,
-                       validate=args.validate, obs=args.obs,
-                       kernel=args.kernel)
+    try:
+        jobs = expand_grid(configs, workloads, ops=args.ops, seeds=seeds,
+                           validate=args.validate, obs=args.obs,
+                           kernel=args.kernel,
+                           overrides=_device_overrides(args))
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
     print(f"sweep: {len(configs)} config(s) x {len(workloads)} workload(s) x "
           f"{len(seeds)} seed(s) = {len(jobs)} jobs on {workers} worker(s)")
 
@@ -425,11 +452,32 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parity_registry(args: argparse.Namespace):
+    """(registry, default_golden_path) for the selected metric family."""
+    if getattr(args, "scenarios", False):
+        from repro.parity.scenarios import SCENARIO_GOLDEN_PATH, SCENARIO_REGISTRY
+        return SCENARIO_REGISTRY, str(SCENARIO_GOLDEN_PATH)
+    from repro.parity import REGISTRY
+    from repro.parity.golden import DEFAULT_GOLDEN_PATH
+    return REGISTRY, str(DEFAULT_GOLDEN_PATH)
+
+
 def _parity_suite(args: argparse.Namespace):
-    """Build a ParitySuite from CLI flags (all five config families)."""
+    """Build a ParitySuite from CLI flags (paper or scenario config grid)."""
     from repro.parity import ParitySuite
     from repro.parity.registry import DEFAULT_OPS, DEFAULT_SEED, DEFAULT_WORKLOADS
 
+    if getattr(args, "scenarios", False):
+        from repro.parity.scenarios import scenario_suite, SCENARIO_OPS, SCENARIO_SEED
+
+        base = scenario_suite(
+            ops=args.ops if args.ops is not None else SCENARIO_OPS,
+            seed=args.seed if args.seed is not None else SCENARIO_SEED)
+        if args.workloads.lower() != "default":
+            base = ParitySuite(configs=base.configs,
+                               workloads=tuple(_parse_list(args.workloads)),
+                               ops=base.ops, seed=base.seed)
+        return base
     if args.workloads.lower() == "default":
         workloads = DEFAULT_WORKLOADS
     else:
@@ -448,15 +496,16 @@ def cmd_parity_run(args: argparse.Namespace) -> int:
     """Evaluate every registry metric; gate only on the sanity bands."""
     import json as _json
 
-    from repro.parity import REGISTRY, evaluate
+    from repro.parity import evaluate
 
+    registry, _ = _parity_registry(args)
     suite = _parity_suite(args)
-    measured = evaluate(suite, workers=args.jobs,
+    measured = evaluate(suite, workers=args.jobs, registry=registry,
                         progress=None if args.quiet else _parity_progress,
                         kernel=getattr(args, "kernel", None))
     rows = []
     out_of_band = []
-    for m in REGISTRY:
+    for m in registry:
         v = measured[m.id]
         ok = m.in_band(v)
         if not ok:
@@ -484,20 +533,23 @@ def cmd_parity_bless(args: argparse.Namespace) -> int:
         write_golden,
     )
 
+    registry, default_golden = _parity_registry(args)
+    golden_path = args.golden or default_golden
     suite = _parity_suite(args)
-    measured = evaluate(suite, workers=args.jobs,
+    measured = evaluate(suite, workers=args.jobs, registry=registry,
                         progress=None if args.quiet else _parity_progress)
     try:
-        previous = load_golden(args.golden)
+        previous = load_golden(golden_path)
     except GoldenError:
         previous = None
     if previous is not None:
-        drifted = [v for v in compare(measured, previous)
+        drifted = [v for v in compare(measured, previous, registry=registry)
                    if v.status not in ("pass", "stale")]
         for v in drifted:
             print(f"  re-blessing {v.id}: {v.golden} -> "
                   f"{v.measured:.6g} ({v.status})")
-    out = write_golden(golden_payload(measured, suite), args.golden)
+    out = write_golden(golden_payload(measured, suite, registry=registry),
+                       golden_path)
     print(f"blessed {len(measured)} metrics -> {out}")
     return 0
 
@@ -510,18 +562,22 @@ def cmd_parity_compare(args: argparse.Namespace) -> int:
     )
     from repro.parity.golden import golden_suite
 
+    registry, default_golden = _parity_registry(args)
     try:
-        payload = load_golden(args.golden)
+        payload = load_golden(args.golden or default_golden)
     except GoldenError as e:
         print(f"error: {e}", file=sys.stderr)
         return 2
     # Always evaluate at the scale the golden was blessed at — drift
     # verdicts are meaningless across scales.
     suite = golden_suite(payload)
-    measured = evaluate(suite, workers=args.jobs,
+    measured = evaluate(suite, workers=args.jobs, registry=registry,
                         progress=None if args.quiet else _parity_progress)
-    verdicts = compare(measured, payload)
-    report = render_report(verdicts, suite)
+    verdicts = compare(measured, payload, registry=registry)
+    report = render_report(verdicts, suite,
+                           title="Scenario drift report"
+                           if getattr(args, "scenarios", False)
+                           else "Parity drift report")
     print(report)
     if args.report:
         with open(args.report, "w", encoding="utf-8") as fh:
@@ -771,6 +827,21 @@ def cmd_cost(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_device_args(sp: argparse.ArgumentParser) -> None:
+    """Tiering / device-realism overrides shared by ``run`` and ``sweep``."""
+    sp.add_argument("--tiering", default=None,
+                    choices=["none"] + sorted(TIERING_PRESETS),
+                    help="hot/cold page-placement preset between a local "
+                         "DDR tier and the CXL tier ('none' = flat); "
+                         "requires a CXL config")
+    sp.add_argument("--device-profile", default=None,
+                    choices=sorted(PROFILES),
+                    help="per-device CXL latency profile (default: the "
+                         "config's own; 'fixed' = the historical model)")
+    sp.add_argument("--cxl-backend", default=None, choices=["ddr", "ssd"],
+                    help="Type-3 capacity medium behind each CXL port")
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -806,6 +877,7 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["fast", "reference", "batch"],
                     help="dispatch-loop mode (default: fast); all modes "
                          "produce bit-identical results")
+    _add_device_args(pr)
     pr.set_defaults(fn=cmd_run)
 
     pt = sub.add_parser(
@@ -872,6 +944,7 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["fast", "reference", "batch"],
                     help="dispatch-loop mode for uncached jobs; combine "
                          "with --no-cache to actually exercise the loop")
+    _add_device_args(ps)
     ps.set_defaults(fn=cmd_sweep)
 
     pe = sub.add_parser(
@@ -1029,6 +1102,10 @@ def build_parser() -> argparse.ArgumentParser:
             sp.add_argument("--ops", type=int, default=None,
                             help="memory ops per core (default: registry scale)")
             sp.add_argument("--seed", type=int, default=None)
+        sp.add_argument("--scenarios", action="store_true",
+                        help="use the tiering/device-realism scenario "
+                             "registry and golden (goldens/scenarios.json) "
+                             "instead of the paper registry")
         sp.add_argument("--jobs", type=int, default=1,
                         help="process-pool workers for uncached runs")
         sp.add_argument("--quiet", action="store_true",
@@ -1048,7 +1125,9 @@ def build_parser() -> argparse.ArgumentParser:
     ppc = psub.add_parser(
         "compare", help="gate a fresh evaluation against the committed golden")
     _add_parity_suite_args(ppc, with_suite=False)
-    ppc.add_argument("--golden", default="goldens/parity.json")
+    ppc.add_argument("--golden", default=None,
+                     help="golden file (default: goldens/parity.json, or "
+                          "goldens/scenarios.json with --scenarios)")
     ppc.add_argument("--strict", action="store_true",
                      help="treat warn/new/stale verdicts as failures")
     ppc.add_argument("--report", default=None,
@@ -1058,7 +1137,9 @@ def build_parser() -> argparse.ArgumentParser:
     ppb = psub.add_parser(
         "bless", help="regenerate the golden file (intentional recalibration)")
     _add_parity_suite_args(ppb)
-    ppb.add_argument("--golden", default="goldens/parity.json")
+    ppb.add_argument("--golden", default=None,
+                     help="golden file (default: goldens/parity.json, or "
+                          "goldens/scenarios.json with --scenarios)")
     ppb.set_defaults(fn=cmd_parity_bless)
 
     pb = sub.add_parser(

@@ -7,9 +7,16 @@ and returns read data over the RX link. All four port traversals and both
 link serializations are modelled, so both the unloaded latency premium
 (~52.5 ns for reads) and loaded link queuing emerge.
 
-The time a request spends crossing ports/links (including link queuing)
-accumulates into ``req.cxl_delay`` so latency breakdowns can report the
-CXL interface component separately (paper Figures 5/10).
+The interface-crossing math itself lives in one place —
+:class:`~repro.cxl.profiles.DeviceLatencyModel` — which also hosts the
+opt-in per-device latency profiles (``device_profile`` config knob).
+With the default ``"fixed"`` profile the model evaluates the exact
+historical expression, so results are bit-for-bit unchanged.
+
+The time a request spends crossing ports/links (including link queuing
+and any sampled device extra) accumulates into ``req.cxl_delay`` so
+latency breakdowns can report the CXL interface component separately
+(paper Figures 5/10).
 """
 
 from __future__ import annotations
@@ -19,6 +26,8 @@ from typing import Optional
 from repro.engine import Component, Simulator
 from repro.cxl.device import CxlType3Device
 from repro.cxl.link import CxlLinkParams, SerialLink, X8_CXL
+from repro.cxl.profiles import FIXED, DeviceLatencyModel, DeviceProfile
+from repro.cxl.slowmedia import SsdParams
 from repro.dram.timing import DDR5Timing
 from repro.request import MemRequest, READ
 
@@ -34,15 +43,21 @@ class CxlChannel(Component):
         n_ddr_channels: int = 1,
         timing: Optional[DDR5Timing] = None,
         system_channels: int = 1,
+        profile: DeviceProfile = FIXED,
+        profile_seed: int = 0,
+        backend: str = "ddr",
+        ssd_params: Optional[SsdParams] = None,
     ) -> None:
         super().__init__(sim, name)
         self.params = params
         self.tx = SerialLink(params.tx_goodput_gbps)
         self.rx = SerialLink(params.rx_goodput_gbps)
+        self.latency = DeviceLatencyModel(params, profile, seed=profile_seed)
         self.device = CxlType3Device(
             sim, f"{name}.dev", n_ddr_channels, timing,
             response_fn=self._on_dram_response,
             system_channels=system_channels,
+            backend=backend, ssd_params=ssd_params,
         )
 
     # -- CPU-side entry point -------------------------------------------------
@@ -52,12 +67,14 @@ class CxlChannel(Component):
         p = self.params
         if req.kind == READ:
             nbytes = p.req_bytes
+            is_read = True
             self.bump("reads")
         else:
             nbytes = 64 + p.header_bytes
+            is_read = False
             self.bump("writes")
-        # CPU egress port, TX wire, device ingress port.
-        arrive = self.tx.transfer(now + p.port_latency_ns, nbytes) + p.port_latency_ns
+        # CPU egress port, TX wire, device ingress port (+ profile extra).
+        arrive = self.latency.device_bound_ns(self.tx, now, nbytes, is_read)
         req.cxl_delay += arrive - now
         self.bump("tx_bytes", nbytes)
         self.sim.schedule_at(arrive, self.device.submit, req)
@@ -67,7 +84,7 @@ class CxlChannel(Component):
         now = self.sim.now
         p = self.params
         nbytes = 64 + p.header_bytes
-        arrive = self.rx.transfer(now + p.port_latency_ns, nbytes) + p.port_latency_ns
+        arrive = self.latency.cpu_bound_ns(self.rx, now, nbytes)
         req.cxl_delay += arrive - now
         self.bump("rx_bytes", nbytes)
         self.sim.schedule_at(arrive, self._deliver, req)
@@ -83,9 +100,14 @@ class CxlChannel(Component):
         return self.device.peak_bandwidth_gbps
 
     def reset_link_counters(self) -> None:
-        """Zero the serial links' byte counters (measurement boundary)."""
+        """Zero the serial links' byte counters (measurement boundary).
+
+        Also restarts the profile draw stream so measured latency is a
+        function of measured traffic only, not warmup length.
+        """
         self.tx.bytes_moved = 0.0
         self.rx.bytes_moved = 0.0
+        self.latency.reset()
 
     def link_utilizations(self, elapsed_ns: float) -> dict:
         """Achieved / goodput fraction per link direction over a window.
@@ -98,4 +120,4 @@ class CxlChannel(Component):
 
     def min_read_premium_ns(self) -> float:
         """Unloaded latency this channel adds to a read."""
-        return self.params.min_read_latency_ns()
+        return self.latency.min_read_premium_ns()

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.engine import Component, Simulator
+from repro.cxl.slowmedia import SsdMediaChannel, SsdParams
 from repro.dram.controller import DDRChannel
 from repro.dram.mapping import LINE_SHIFT
 from repro.dram.timing import DDR5Timing
@@ -18,7 +19,12 @@ from repro.request import MemRequest
 
 
 class CxlType3Device(Component):
-    """DDR channels packaged behind a CXL target port."""
+    """Memory channels packaged behind a CXL target port.
+
+    ``backend`` selects the capacity medium: ``"ddr"`` (unmodified DDR5
+    controllers, the COAXIAL model) or ``"ssd"`` (slow-media channels
+    with an on-device DRAM cache, :mod:`repro.cxl.slowmedia`).
+    """
 
     def __init__(
         self,
@@ -28,6 +34,8 @@ class CxlType3Device(Component):
         timing: Optional[DDR5Timing] = None,
         response_fn: Optional[Callable[[MemRequest], None]] = None,
         system_channels: int = 1,
+        backend: str = "ddr",
+        ssd_params: Optional[SsdParams] = None,
     ) -> None:
         """``system_channels`` is the system-wide DDR-channel count; the
         device's local channel select and its controllers' bank decode use
@@ -48,12 +56,22 @@ class CxlType3Device(Component):
         if system_channels % n_ddr_channels:
             system_channels += n_ddr_channels - (system_channels % n_ddr_channels)
         self.system_channels = system_channels
-        self.channels: List[DDRChannel] = [
-            DDRChannel(sim, f"{name}.ddr{i}", timing,
-                       response_fn=self._on_dram_response,
-                       system_channels=self.system_channels)
-            for i in range(n_ddr_channels)
-        ]
+        if backend not in ("ddr", "ssd"):
+            raise ValueError(f"unknown backend {backend!r}; valid: ddr, ssd")
+        self.backend = backend
+        if backend == "ssd":
+            self.channels = [
+                SsdMediaChannel(sim, f"{name}.ssd{i}", ssd_params,
+                                response_fn=self._on_dram_response)
+                for i in range(n_ddr_channels)
+            ]
+        else:
+            self.channels: List[DDRChannel] = [
+                DDRChannel(sim, f"{name}.ddr{i}", timing,
+                           response_fn=self._on_dram_response,
+                           system_channels=self.system_channels)
+                for i in range(n_ddr_channels)
+            ]
         self.response_fn = response_fn
 
     def submit(self, req: MemRequest) -> None:

@@ -120,13 +120,21 @@ def expand_grid(configs: Sequence[str], workloads: Sequence[str],
                 seeds: Sequence[int] = (1,),
                 validate: Optional[str] = None,
                 obs: Optional[str] = None,
-                kernel: Optional[str] = None) -> List[SweepJob]:
-    """Build the (config x workload x seed) job list from config names."""
+                kernel: Optional[str] = None,
+                overrides: Optional[Dict[str, Any]] = None) -> List[SweepJob]:
+    """Build the (config x workload x seed) job list from config names.
+
+    ``overrides`` (SystemConfig field -> value) is applied to every named
+    config — how the CLI's ``--tiering``/``--device-profile``/
+    ``--cxl-backend`` flags modify a whole sweep grid at once.
+    """
     jobs = []
     for c in configs:
         if c not in ALL_CONFIGS:
             raise KeyError(f"unknown config {c!r}; valid: {list(ALL_CONFIGS)}")
         cfg = ALL_CONFIGS[c]()
+        if overrides:
+            cfg = cfg.replace(**overrides)
         for w in workloads:
             for s in seeds:
                 jobs.append(SweepJob(cfg, w, ops, s, validate=validate,

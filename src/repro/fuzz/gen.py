@@ -23,6 +23,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.cxl.link import OMI_LIKE, X8_CXL, X8_CXL_ASYM, CxlLinkParams
 from repro.system.config import ALL_CONFIGS, SystemConfig
+from repro.tiering.config import get_tiering
 from repro.workloads.catalog import workload_names
 
 #: The ``cxl_params`` override is spelled as one of these names (keeps the
@@ -48,11 +49,17 @@ KNOB_DOMAINS: Dict[str, Tuple] = {
 }
 
 #: CXL-only knobs (invalid to override on a DDR base — the builder ignores
-#: some and the metamorphic oracles would misread others).
+#: some and the metamorphic oracles would misread others). ``tiering`` is
+#: spelled as a preset name from :data:`repro.tiering.config.TIERING_PRESETS`
+#: (or ``None`` = flat) and ``device_profile`` as a name from
+#: :data:`repro.cxl.profiles.PROFILES`, keeping the override dict JSON-able.
 CXL_KNOB_DOMAINS: Dict[str, Tuple] = {
     "n_mem_ports": (1, 2, 3, 4, 5),
     "ddr_per_cxl": (1, 2),
     "cxl": ("x8", "asym", "omi"),
+    "tiering": (None, "static", "lru", "epoch", "epoch-frozen"),
+    "device_profile": ("fixed", "demystify-a", "demystify-b", "far-socket"),
+    "cxl_backend": ("ddr", "ssd"),
 }
 
 #: DDR-only knob domain (a DDR base keeps a smaller port range: the paper's
@@ -119,6 +126,8 @@ def build_config(case: FuzzCase) -> SystemConfig:
     for k, v in case.overrides.items():
         if k == "cxl":
             kwargs["cxl_params"] = CXL_PARAMS_BY_NAME[v]
+        elif k == "tiering":
+            kwargs["tiering"] = None if v is None else get_tiering(v)
         else:
             kwargs[k] = v
     # n_cores shrinking implies active_cores shrinking; keep them coupled

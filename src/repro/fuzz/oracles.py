@@ -10,10 +10,11 @@ Three oracle classes, per the testing plan:
   the same reference, and a cold :func:`repro.analysis.tables.run_one` vs
   the same job served back through the on-disk result cache.
 - **Metamorphic** (``bw_monotone``, ``calm_r_bound``, ``asym_read_heavy``,
-  ``ops_scaling``, ``channel_balance``): a transformed twin of the case
-  must move the observables in a known direction, within tolerances wide
-  enough to absorb simulation noise but narrow enough to catch real bugs
-  (each tolerance was calibrated against clean-main fuzz runs).
+  ``ops_scaling``, ``channel_balance``, ``tiering_bound``,
+  ``migration_identity``, ``ssd_hit_path``): a transformed twin of the
+  case must move the observables in a known direction, within tolerances
+  wide enough to absorb simulation noise but narrow enough to catch real
+  bugs (each tolerance was calibrated against clean-main fuzz runs).
 
 Every oracle is a pure function of a :class:`~repro.fuzz.gen.FuzzCase`:
 ``check(case)`` returns ``None`` on pass or a human-readable failure
@@ -61,6 +62,21 @@ OPS_SCALING_MPKI_ABS = 3.0
 #: more than this multiple of the mean, and none may starve outright.
 CHANNEL_BALANCE_MAX_OVER_MEAN = 4.0
 CHANNEL_BALANCE_MIN_MISSES = 200
+
+#: tiering_bound: a tiered system may beat the all-local-DRAM twin (same
+#: total channel count, no CXL hop anywhere) on mean miss latency by at
+#: most this much — i.e. it must not. The slack absorbs queuing shifts
+#: from concentrating hot pages on the small local tier.
+TIERING_BOUND_REL = 0.10
+TIERING_BOUND_ABS_NS = 10.0
+
+#: ssd_hit_path: mean on-device-cache hit service may exceed mean miss
+#: service by at most this much (hits skip the slow media entirely; the
+#: slack covers DRAM-link backlog a hit can queue behind while the media
+#: link idles). Only meaningful once both paths have real traffic.
+SSD_HIT_PATH_REL = 0.10
+SSD_HIT_PATH_ABS_NS = 25.0
+SSD_HIT_PATH_MIN_COUNT = 20
 
 #: Workloads whose generator write fraction is at or below this are
 #: "read-heavy" for the asym oracle.
@@ -263,6 +279,92 @@ def check_channel_balance(case: FuzzCase) -> Optional[str]:
     return None
 
 
+def _is_tiered(case: FuzzCase) -> bool:
+    return build_config(case).tiering is not None
+
+
+def _is_ssd_backed(case: FuzzCase) -> bool:
+    cfg = build_config(case)
+    return cfg.memory_kind == "cxl" and cfg.cxl_backend == "ssd"
+
+
+def _is_flat_multichannel(case: FuzzCase) -> bool:
+    """channel_balance only applies to untiered systems: a tiered config
+    deliberately concentrates hot pages on the small local tier, so its
+    channels are imbalanced by design."""
+    cfg = build_config(case)
+    return cfg.n_ddr_channels >= 2 and cfg.tiering is None
+
+
+def check_tiering_bound(case: FuzzCase) -> Optional[str]:
+    """Tiering never beats the all-local-DRAM twin on mean miss latency.
+
+    The twin flattens the case's memory into plain local DDR with the
+    same *total* channel count — no CXL hop, no migration stalls, no
+    slow media. Every far serve the tiered system makes pays at least
+    the CXL port/link premium on top of the same DRAM timing, so a
+    tiered mean miss latency meaningfully below the twin's means the
+    premium or the migration accounting got lost somewhere.
+    """
+    cfg = build_config(case)
+    flat = dc_replace(cfg, memory_kind="ddr", n_mem_ports=cfg.n_ddr_channels,
+                      ddr_per_cxl=1, tiering=None, cxl_backend="ddr")
+    tiered = _simulate(case, cfg=cfg)
+    local = _simulate(case, cfg=flat)
+    floor = (local.avg_miss_latency * (1 - TIERING_BOUND_REL)
+             - TIERING_BOUND_ABS_NS)
+    if tiered.avg_miss_latency >= floor:
+        return None
+    return (f"tiered miss latency {tiered.avg_miss_latency:.1f} ns beats "
+            f"all-local-DRAM twin {local.avg_miss_latency:.1f} ns "
+            f"(floor {floor:.1f})")
+
+
+def check_migration_identity(case: FuzzCase) -> Optional[str]:
+    """Epoch migration with a zero budget == static pinning, bit for bit.
+
+    Both twins first-touch-pin identically; an epoch policy that never
+    migrates (``migrations_per_epoch=0``) must therefore produce a result
+    identical in every field — including ``events_fired`` and the fixed
+    ``extras["tiering"]`` key set — to plain static placement. Any drift
+    means epoch bookkeeping leaked into the simulated timeline.
+    """
+    cfg = build_config(case)
+    frozen = dc_replace(cfg, tiering=dc_replace(
+        cfg.tiering, policy="epoch", migrations_per_epoch=0))
+    static = dc_replace(cfg, tiering=dc_replace(cfg.tiering, policy="static"))
+    diffs = _result_diff(_simulate(case, cfg=frozen),
+                         _simulate(case, cfg=static))
+    if not diffs:
+        return None
+    return ("migration-off epoch vs static placement diverged: "
+            + "; ".join(diffs[:5]))
+
+
+def check_ssd_hit_path(case: FuzzCase) -> Optional[str]:
+    """On-device DRAM cache hits are never slower than misses on average.
+
+    A hit serves from the device cache's DRAM; a miss pays the slow-media
+    fetch first and then the same DRAM hop. Per-request service times are
+    summed on the device (``ssd_hit_ns_sum`` / ``ssd_miss_ns_sum``), so
+    the means are directly comparable once both paths have traffic.
+    """
+    r = _simulate(case)
+    ssd = r.extras.get("ssd") or {}
+    hits = ssd.get("ssd_hits", 0.0)
+    misses = ssd.get("ssd_misses", 0.0)
+    if hits < SSD_HIT_PATH_MIN_COUNT or misses < SSD_HIT_PATH_MIN_COUNT:
+        return None
+    mean_hit = ssd["ssd_hit_ns_sum"] / hits
+    mean_miss = ssd["ssd_miss_ns_sum"] / misses
+    limit = mean_miss * (1 + SSD_HIT_PATH_REL) + SSD_HIT_PATH_ABS_NS
+    if mean_hit <= limit:
+        return None
+    return (f"ssd cache hit path slower than miss path: "
+            f"{mean_hit:.1f} ns vs {mean_miss:.1f} ns over "
+            f"{hits:.0f}/{misses:.0f} hits/misses (limit {limit:.1f})")
+
+
 def check_obs(case: FuzzCase) -> Optional[str]:
     """Observability is a pure observer and its export round-trips.
 
@@ -359,10 +461,18 @@ ORACLES: Dict[str, Oracle] = {o.name: o for o in [
            applies=lambda c: build_config(c).calm_policy.startswith("calm_")),
     Oracle("asym_read_heavy", check_asym_read_heavy,
            applies=lambda c: _is_cxl(c) and _is_read_heavy(c)),
+    # Tiered and slow-media systems carry fixed-capacity device state
+    # (local-tier pages, on-device DRAM cache) that does not scale with
+    # trace length, so their per-op rates are legitimately
+    # scale-dependent; their own metamorphic oracles cover them instead.
     Oracle("ops_scaling", check_ops_scaling,
-           applies=lambda c: c.ops <= 700),
+           applies=lambda c: (c.ops <= 700 and not _is_tiered(c)
+                              and not _is_ssd_backed(c))),
     Oracle("channel_balance", check_channel_balance,
-           applies=lambda c: build_config(c).n_ddr_channels >= 2),
+           applies=_is_flat_multichannel),
+    Oracle("tiering_bound", check_tiering_bound, applies=_is_tiered),
+    Oracle("migration_identity", check_migration_identity, applies=_is_tiered),
+    Oracle("ssd_hit_path", check_ssd_hit_path, applies=_is_ssd_backed),
     Oracle("obs", check_obs),
     Oracle("calm_clock", check_calm_clock, default=False),
 ]}

@@ -17,11 +17,13 @@ from repro.cache.cache import CacheArray, CacheLevel, LINE_BYTES
 from repro.calm.policy import IdealPredictor, make_calm_policy
 from repro.cpu.core import Core, CoreParams
 from repro.cxl.channel import CxlChannel
+from repro.cxl.profiles import get_profile
 from repro.dram.controller import DDRChannel
 from repro.noc.mesh import Mesh2D
 from repro.request import MemRequest, READ, WRITE
 from repro.system.config import SystemConfig
 from repro.system.stats import LatencyBreakdown
+from repro.tiering import TierManager
 
 LINE_MASK = ~0x3F
 
@@ -50,17 +52,38 @@ class Chip(Component):
         self.n_ddr_total = cfg.n_ddr_channels
         self.ports: List = []
         self.ddr_channels: List[DDRChannel] = []
+        self.tiers: Optional[TierManager] = None
         if cfg.memory_kind == "ddr":
             for i in range(cfg.n_mem_ports):
                 ch = DDRChannel(sim, f"ddr{i}", system_channels=self.n_ddr_total)
                 self.ports.append(ch)
                 self.ddr_channels.append(ch)
         else:
+            # With tiering, a small local-DDR tier sits in front of the
+            # CXL ports; lines interleave within each tier's own width,
+            # and the TierManager (not the flat interleave) picks the
+            # port per request.
+            n_local = 0
+            cxl_width = self.n_ddr_total
+            if cfg.tiering is not None:
+                n_local = cfg.tiering.local_channels
+                cxl_width = cfg.n_mem_ports * cfg.ddr_per_cxl
+                for i in range(n_local):
+                    ch = DDRChannel(sim, f"loc{i}", system_channels=n_local)
+                    self.ports.append(ch)
+                    self.ddr_channels.append(ch)
+            profile = get_profile(cfg.device_profile)
             for i in range(cfg.n_mem_ports):
                 cx = CxlChannel(sim, f"cxl{i}", cfg.cxl_params, cfg.ddr_per_cxl,
-                                system_channels=self.n_ddr_total)
+                                system_channels=cxl_width,
+                                profile=profile, profile_seed=i,
+                                backend=cfg.cxl_backend,
+                                ssd_params=cfg.ssd_params)
                 self.ports.append(cx)
                 self.ddr_channels.extend(cx.device.channels)
+            if cfg.tiering is not None:
+                self.tiers = TierManager(cfg.tiering, n_local, cxl_width,
+                                         cfg.ddr_per_cxl)
         self.port_tiles = self.mesh.default_port_tiles(len(self.ports))
         # Hot-path locals: the dense NoC latency table and tile count are
         # read several times per L2 miss; binding them once here keeps the
@@ -162,12 +185,21 @@ class Chip(Component):
         """Route a read towards its memory port over the NoC."""
         if self.checker is not None:
             self.checker.on_mem_submit(req)
-        pidx = self.port_of(req.addr)
+        extra = 0.0
+        if self.tiers is None:
+            pidx = self.port_of(req.addr)
+        else:
+            pidx, extra = self.tiers.route(req.addr, self.sim.now)
+            if extra:
+                # Migration wait is interface time: attribute it to the
+                # CXL component so the breakdown (and the checker's
+                # conservation audit) see it.
+                req.cxl_delay += extra
         port = self.ports[pidx]
         ptile = self.port_tiles[pidx]
         req.user["port_tile"] = ptile
         req.callback = self._mem_response
-        t = self.sim.now + self._mlat[from_tile][ptile]
+        t = self.sim.now + self._mlat[from_tile][ptile] + extra
         self.sim.schedule_at(t, port.submit if hasattr(port, "submit") else port.enqueue, req)
 
     def _llc_lookup(self, req: MemRequest, stile: int) -> None:
@@ -285,10 +317,14 @@ class Chip(Component):
         """Posted write of a dirty LLC victim to memory."""
         st = self.stats
         st["mem_writes"] = st.get("mem_writes", 0.0) + 1.0
-        pidx = self.port_of(line)
+        extra = 0.0
+        if self.tiers is None:
+            pidx = self.port_of(line)
+        else:
+            pidx, extra = self.tiers.route(line, self.sim.now)
         port = self.ports[pidx]
         req = MemRequest(line, WRITE)
-        t = self.sim.now + self._mlat[from_tile][self.port_tiles[pidx]]
+        t = self.sim.now + self._mlat[from_tile][self.port_tiles[pidx]] + extra
         self.sim.schedule_at(t, port.submit if hasattr(port, "submit") else port.enqueue, req)
 
     # -- measurement control ----------------------------------------------------------
@@ -299,6 +335,8 @@ class Chip(Component):
         self.lat.reset()
         self.reset_stats()
         self.calm.reset_stats()
+        if self.tiers is not None:
+            self.tiers.reset_stats()
         for ch in self.ddr_channels:
             ch.reset_stats()
         for port in self.ports:

@@ -27,6 +27,9 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.cxl.link import CxlLinkParams, X8_CXL, X8_CXL_ASYM
+from repro.cxl.profiles import PROFILES
+from repro.cxl.slowmedia import DEFAULT_SSD, SsdParams
+from repro.tiering.config import TieringConfig, get_tiering
 
 
 @dataclass
@@ -66,6 +69,17 @@ class SystemConfig:
     ddr_per_cxl: int = 1                   # DDR channels behind each CXL device
     cxl_params: CxlLinkParams = field(default_factory=lambda: X8_CXL)
 
+    # Device realism (repro.cxl.profiles / repro.cxl.slowmedia):
+    # named per-device latency profile ("fixed" = the historical model)
+    # and the Type-3 capacity medium behind each CXL port.
+    device_profile: str = "fixed"
+    cxl_backend: str = "ddr"               # "ddr" | "ssd"
+    ssd_params: SsdParams = field(default_factory=lambda: DEFAULT_SSD)
+
+    # Tiered memory (repro.tiering): hot/cold page placement between a
+    # small local-DDR tier and the CXL tier. None = flat (untiered).
+    tiering: Optional[TieringConfig] = None
+
     # CALM (Section IV-C); baseline default is serial access
     calm_policy: str = "never"
 
@@ -83,14 +97,25 @@ class SystemConfig:
             raise ValueError(f"memory_kind must be ddr or cxl, got {self.memory_kind!r}")
         if self.mesh_rows * self.mesh_cols < self.n_cores:
             raise ValueError("mesh too small for core count")
+        if self.device_profile not in PROFILES:
+            raise ValueError(
+                f"unknown device_profile {self.device_profile!r}; "
+                f"valid: {sorted(PROFILES)}")
+        if self.cxl_backend not in ("ddr", "ssd"):
+            raise ValueError(
+                f"cxl_backend must be ddr or ssd, got {self.cxl_backend!r}")
+        if self.tiering is not None and self.memory_kind != "cxl":
+            raise ValueError("tiering requires memory_kind='cxl' "
+                             "(the far tier is the CXL memory)")
 
     # -- derived ---------------------------------------------------------------
     @property
     def n_ddr_channels(self) -> int:
-        """Total DDR channels in the memory system."""
+        """Total memory channels in the system (local tier included)."""
         if self.memory_kind == "ddr":
             return self.n_mem_ports
-        return self.n_mem_ports * self.ddr_per_cxl
+        local = self.tiering.local_channels if self.tiering is not None else 0
+        return local + self.n_mem_ports * self.ddr_per_cxl
 
     @property
     def llc_total_kb(self) -> int:
@@ -144,6 +169,58 @@ def coaxial_asym_config(**overrides) -> SystemConfig:
     return cfg.replace(**overrides) if overrides else cfg
 
 
+def _tiered_config(preset: str, name: str, **overrides) -> SystemConfig:
+    """COAXIAL-4x memory with a 1-channel local-DDR tier in front."""
+    cfg = SystemConfig(
+        name=name, memory_kind="cxl", n_mem_ports=4,
+        llc_kb_per_core=128, calm_policy="calm_70",
+        tiering=get_tiering(preset),
+    )
+    return cfg.replace(**overrides) if overrides else cfg
+
+
+def tiered_static_config(**overrides) -> SystemConfig:
+    """Tiered memory, first-touch static pinning (no migration)."""
+    return _tiered_config("static", "tiered-static", **overrides)
+
+
+def tiered_lru_config(**overrides) -> SystemConfig:
+    """Tiered memory, LRU-style immediate promotion on hot far pages."""
+    return _tiered_config("lru", "tiered-lru", **overrides)
+
+
+def tiered_epoch_config(**overrides) -> SystemConfig:
+    """Tiered memory, periodic epoch migration with per-page copy cost."""
+    return _tiered_config("epoch", "tiered-epoch", **overrides)
+
+
+def cxl_ssd_config(**overrides) -> SystemConfig:
+    """COAXIAL-4x ports backed by SSD slow media + on-device DRAM cache.
+
+    The on-chip hierarchy is scaled down hard (L2 32 KB, LLC 16 KB/core):
+    capacity-expansion scenarios assume footprints the SRAM hierarchy
+    cannot absorb — that is what routes reuse traffic to the on-device
+    DRAM cache in the first place, and at Python-scale trace lengths the
+    reuse window only clears the LLC with these capacities.
+    """
+    cfg = SystemConfig(
+        name="cxl-ssd", memory_kind="cxl", n_mem_ports=4,
+        l2_kb=32, llc_kb_per_core=16, calm_policy="calm_70",
+        cxl_backend="ssd",
+    )
+    return cfg.replace(**overrides) if overrides else cfg
+
+
+def cxl_profiled_config(**overrides) -> SystemConfig:
+    """COAXIAL-4x with the skewed 'demystify-b' device-latency profile."""
+    cfg = SystemConfig(
+        name="cxl-profiled", memory_kind="cxl", n_mem_ports=4,
+        llc_kb_per_core=128, calm_policy="calm_70",
+        device_profile="demystify-b",
+    )
+    return cfg.replace(**overrides) if overrides else cfg
+
+
 #: All named configurations, for sweep-style benches.
 ALL_CONFIGS = {
     "ddr-baseline": baseline_config,
@@ -151,4 +228,15 @@ ALL_CONFIGS = {
     "coaxial-4x": coaxial_config,
     "coaxial-5x": coaxial_5x_config,
     "coaxial-asym": coaxial_asym_config,
+    "tiered-static": tiered_static_config,
+    "tiered-lru": tiered_lru_config,
+    "tiered-epoch": tiered_epoch_config,
+    "cxl-ssd": cxl_ssd_config,
+    "cxl-profiled": cxl_profiled_config,
 }
+
+#: The five paper configurations (Tables II/III) — the parity suite's
+#: default grid; scenario configs have their own suite/goldens.
+PAPER_CONFIGS = (
+    "ddr-baseline", "coaxial-2x", "coaxial-4x", "coaxial-5x", "coaxial-asym",
+)

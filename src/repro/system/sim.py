@@ -381,6 +381,17 @@ def simulate(
         "channel_bytes": [float(ch.stats.get("bytes", 0.0))
                           for ch in chip.ddr_channels],
     }
+    if chip.tiers is not None:
+        # Fixed key set regardless of policy: the migration-identity
+        # oracle diffs full results bit-for-bit across policies.
+        extras["tiering"] = chip.tiers.snapshot()
+    if cfg.memory_kind == "cxl" and cfg.cxl_backend == "ssd":
+        extras["ssd"] = {
+            k: float(sum(ch.stats.get(k, 0.0) for ch in chip.ddr_channels))
+            for k in ("ssd_hits", "ssd_misses", "ssd_hit_ns_sum",
+                      "ssd_miss_ns_sum", "ssd_media_rd_bytes",
+                      "ssd_media_wr_bytes", "ssd_wr_hits", "ssd_wr_misses")
+        }
     if checker is not None:
         checker.finish(chip, elapsed)
         extras["invariant_violations"] = checker.report()

@@ -1,0 +1,11 @@
+"""Tiered memory: hot/cold page placement between local DRAM and CXL.
+
+See :mod:`repro.tiering.config` for the policy model and presets and
+:mod:`repro.tiering.manager` for the routing/migration machinery and its
+determinism contract. ``docs/scenarios.md`` has the user-facing matrix.
+"""
+
+from repro.tiering.config import TIERING_PRESETS, TieringConfig, get_tiering
+from repro.tiering.manager import TierManager
+
+__all__ = ["TieringConfig", "TIERING_PRESETS", "get_tiering", "TierManager"]

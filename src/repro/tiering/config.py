@@ -1,0 +1,86 @@
+"""Tiered-memory policy configuration and named presets.
+
+A tiered system serves part of the footprint from a small *local* DRAM
+tier (direct DDR channels) and the rest from the CXL *far* tier.
+Placement is page-granular and first-touch: every policy pins the first
+``local_capacity_pages`` distinct pages local and spills the rest far,
+so all policies start from an identical placement and differ only in how
+(and whether) they migrate afterwards:
+
+* ``static``  — first-touch pinning, never migrates.
+* ``lru``     — a far page touched ``promote_threshold`` times is
+  promoted immediately, demoting the least-recently-used local page; the
+  triggering request pays ``migration_cost_ns``.
+* ``epoch``   — every ``epoch_ns`` the hottest far pages (by touch
+  count, up to ``migrations_per_epoch``) swap with the coldest local
+  pages; promoted pages become usable one ``migration_cost_ns`` apart
+  after the boundary, and requests racing the copy wait for it.
+
+``epoch`` with ``migrations_per_epoch=0`` never changes placement and is
+bit-for-bit identical to ``static`` — the ``migration_identity``
+metamorphic oracle holds the repo to that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class TieringConfig:
+    """Hot/cold page-placement policy between local DRAM and CXL."""
+
+    policy: str = "static"           # "static" | "lru" | "epoch"
+    local_channels: int = 1          # direct DDR channels in the local tier
+    # Local tier size in 4 KiB pages (128 = 512 KiB). Scaled down like the
+    # cache hierarchy (see repro.system.config) so Python-scale footprints
+    # actually spill to the far tier.
+    local_capacity_pages: int = 128
+    page_shift: int = 12             # placement granularity (4 KiB pages)
+    epoch_ns: float = 200_000.0      # epoch policy: migration period
+    migrations_per_epoch: int = 32   # epoch policy: swap budget per epoch
+    migration_cost_ns: float = 600.0     # per-page copy cost
+    promote_threshold: int = 4       # touches before a far page qualifies
+
+    def __post_init__(self) -> None:
+        if self.policy not in ("static", "lru", "epoch"):
+            raise ValueError(
+                f"policy must be static/lru/epoch, got {self.policy!r}")
+        if self.local_channels < 1:
+            raise ValueError("local_channels must be >= 1")
+        if self.local_capacity_pages < 1:
+            raise ValueError("local_capacity_pages must be >= 1")
+        if not 6 <= self.page_shift <= 21:
+            raise ValueError("page_shift must be in [6, 21]")
+        if self.epoch_ns <= 0:
+            raise ValueError("epoch_ns must be positive")
+        if self.migrations_per_epoch < 0:
+            raise ValueError("migrations_per_epoch must be >= 0")
+        if self.migration_cost_ns < 0:
+            raise ValueError("migration_cost_ns must be >= 0")
+        if self.promote_threshold < 1:
+            raise ValueError("promote_threshold must be >= 1")
+
+
+#: Named presets — the JSON-able spelling used by the CLI (``--tiering``)
+#: and the fuzzer's knob domain.
+TIERING_PRESETS: Dict[str, TieringConfig] = {
+    "static": TieringConfig(policy="static"),
+    "lru": TieringConfig(policy="lru", promote_threshold=2),
+    # 4 us epochs: a few dozen rollovers at Python-scale trace lengths
+    # (runs simulate tens of microseconds), analogous to the paper-scale
+    # OS-tick periods a real tiering daemon would use.
+    "epoch": TieringConfig(policy="epoch", epoch_ns=4_000.0,
+                           migrations_per_epoch=32, migration_cost_ns=600.0,
+                           promote_threshold=4),
+    # The migration-identity twin: epoch machinery on, budget zero.
+    "epoch-frozen": TieringConfig(policy="epoch", migrations_per_epoch=0),
+}
+
+
+def get_tiering(name: str) -> TieringConfig:
+    if name not in TIERING_PRESETS:
+        raise KeyError(
+            f"unknown tiering preset {name!r}; valid: {sorted(TIERING_PRESETS)}")
+    return TIERING_PRESETS[name]

@@ -1,4 +1,4 @@
-"""The 36-workload catalog (paper Table IV), calibrated for the scaled system.
+"""The workload catalog: 36 paper workloads (Table IV) + scenario traces.
 
 Scaled hierarchy reference (see ``repro.system.config``): L1 = 256 lines,
 L2 = 1K lines, baseline LLC = 48K lines (3 MB total across 12 slices).
@@ -16,6 +16,8 @@ Workload families:
 - STREAM: pure streaming kernels.
 - PARSEC: moderate-footprint hot/cold mixes.
 - masstree (KVS) and kmeans (data analytics).
+- SCENARIO: bursty / phase-changing / capacity-pressure traces for the
+  tiered-memory and device-realism models (no Table IV targets).
 """
 
 from __future__ import annotations
@@ -23,7 +25,8 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.workloads.generators import (
-    graph_analytics, hot_cold, kmeans_scan, kvs, pointer_chase, stream, strided,
+    capacity_churn, graph_analytics, hot_cold, kmeans_scan, kvs, phased,
+    pointer_chase, stream, strided,
 )
 from repro.workloads.params import WorkloadSpec
 
@@ -147,6 +150,19 @@ _ENTRIES: List[WorkloadSpec] = [
     _spec("canneal", "PARSEC", hot_cold,
           dict(hot_lines=800, cold_lines=M, hot_prob=0.80, write_frac=0.15,
                dep_prob=0.4, gap=50.0, spatial=1), 0.61, 7),
+    # --- Tiering / device-realism scenarios (ROADMAP item 5; no Table IV
+    # row — these exercise the repro.tiering and slow-media models, so no
+    # paper IPC/MPKI targets exist for them) --------------------------------
+    _spec("bursty-web", "SCENARIO", hot_cold,
+          dict(hot_lines=1200, cold_lines=M, hot_prob=0.75, write_frac=0.12,
+               dep_prob=0.15, gap=30.0, burst=0.5, spatial=2), None, None),
+    _spec("phase-flip", "SCENARIO", phased,
+          dict(phase_ops=400, hot_lines=2048, cold_lines=M, n_hot_sets=8,
+               hot_prob=0.85, write_frac=0.15, gap=24.0, burst=0.3),
+          None, None),
+    _spec("capacity-churn", "SCENARIO", capacity_churn,
+          dict(region_lines=768, n_regions=2, passes=2, write_frac=0.25,
+               gap=18.0), None, None),
 ]
 
 WORKLOADS: Dict[str, WorkloadSpec] = {w.name: w for w in _ENTRIES}
@@ -165,7 +181,7 @@ def get_workload(name: str) -> WorkloadSpec:
 
 
 def workload_names() -> List[str]:
-    """All 36 workload names in catalog order."""
+    """All catalog workload names (Table IV + scenarios) in catalog order."""
     return [w.name for w in _ENTRIES]
 
 

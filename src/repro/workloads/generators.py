@@ -273,6 +273,75 @@ def kvs(n_ops: int, seed: int, n_keys: int = 1 << 18, levels: int = 5,
     return make_trace(gaps, addr, is_write, pc, dep, "kvs")
 
 
+def phased(n_ops: int, seed: int, phase_ops: int = 400, hot_lines: int = 2048,
+           cold_lines: int = 1 << 20, n_hot_sets: int = 8, hot_prob: float = 0.85,
+           write_frac: float = 0.15, dep_prob: float = 0.05, gap: float = 10.0,
+           burst: float = 0.3, struct_seed=None) -> Trace:
+    """Phase-changing behaviour: streaming and hot-set phases alternate.
+
+    Even phases sweep the cold region sequentially (stream-like, zero
+    reuse); odd phases hammer a *moving* hot set — the set shifts to a
+    fresh region every other phase, cycling through ``n_hot_sets``
+    regions. The shifting hot set is what exercises tiered-memory
+    migration policies: a static first-touch placement keeps serving
+    yesterday's hot pages while the epoch/LRU policies chase the move.
+    """
+    rs, ra = _rngs(seed, struct_seed)
+    core_off = int(ra.integers(0, 1 << 10)) * (n_hot_sets * hot_lines + cold_lines) * LINE * 2
+    idx = np.arange(n_ops)
+    phase = idx // max(1, phase_ops)
+    in_stream = (phase % 2) == 0
+    hot_set = (phase // 2) % n_hot_sets
+    cold_base = n_hot_sets * hot_lines
+    # Stream leg: sequential position advances only on stream-phase ops.
+    seq = np.cumsum(in_stream.astype(np.int64)) % cold_lines
+    stream_addr = cold_base + seq
+    hot_addr = hot_set * hot_lines + ra.integers(0, hot_lines, n_ops)
+    cold_addr = cold_base + ra.integers(0, cold_lines, n_ops)
+    is_hot = (~in_stream) & (rs.random(n_ops) < hot_prob)
+    addr = (np.where(in_stream, stream_addr,
+                     np.where(is_hot, hot_addr, cold_addr)) * LINE + core_off)
+    is_write = (rs.random(n_ops) < write_frac).astype(np.uint8)
+    dep = _dep_chain_to_prev_load(
+        is_write, (~in_stream) & (rs.random(n_ops) < dep_prob))
+    pc = np.where(in_stream, 0x40000, 0x40010 + hot_set * 4).astype(np.uint32)
+    gaps = _gaps(rs, n_ops, gap, burst)
+    addr = _page_scatter(addr, ra)
+    return make_trace(gaps, addr, is_write, pc, dep, "phased")
+
+
+def capacity_churn(n_ops: int, seed: int, region_lines: int = 4096,
+                   n_regions: int = 12, passes: int = 3, write_frac: float = 0.25,
+                   dep_prob: float = 0.05, gap: float = 8.0, jitter_lines: int = 8,
+                   struct_seed=None) -> Trace:
+    """Capacity-pressure churn: region-by-region sweeps with bounded reuse.
+
+    The footprint (``n_regions`` x ``region_lines`` lines per core) is
+    walked one region at a time; each visit makes ``passes`` nearly
+    sequential passes over the region before moving on, so every page is
+    warm for a while and then cold for a long time. Sized to overflow
+    both the LLC and a tiered system's local-DRAM capacity, it keeps
+    placement policies (and the SSD backend's on-device cache) under
+    continuous eviction pressure.
+    """
+    rs, ra = _rngs(seed, struct_seed)
+    if region_lines < 1 or n_regions < 1 or passes < 1:
+        raise ValueError("region_lines, n_regions, passes must be >= 1")
+    core_off = int(ra.integers(0, 1 << 10)) * region_lines * n_regions * LINE * 2
+    idx = np.arange(n_ops)
+    per_region = region_lines * passes
+    region = (idx // per_region) % n_regions
+    off_in = (idx % per_region) % region_lines
+    jit = ra.integers(0, max(1, jitter_lines), n_ops)
+    addr = (region * region_lines + (off_in + jit) % region_lines) * LINE + core_off
+    is_write = (rs.random(n_ops) < write_frac).astype(np.uint8)
+    dep = _dep_chain_to_prev_load(is_write, rs.random(n_ops) < dep_prob)
+    pc = (region % 16 * 4 + 0x50000).astype(np.uint32)
+    gaps = _gaps(rs, n_ops, gap)
+    addr = _page_scatter(addr, ra)
+    return make_trace(gaps, addr, is_write, pc, dep, "capacity_churn")
+
+
 def kmeans_scan(n_ops: int, seed: int, points_lines: int = 1 << 20,
                 centroid_lines: int = 16, gap: float = 9.0,
                 centroid_prob: float = 0.45, write_frac: float = 0.05,

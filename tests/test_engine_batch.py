@@ -148,6 +148,19 @@ class TestBatchSimulationEquality:
                         seed=1, kernel="batch")
         assert run_oracle("obs", case) is None
 
+    @pytest.mark.slow
+    @pytest.mark.parametrize("base", ["tiered-static", "tiered-lru",
+                                      "tiered-epoch", "cxl-ssd",
+                                      "cxl-profiled"])
+    def test_tiering_and_device_configs_bit_identical(self, base):
+        # The tiering manager routes lazily (no scheduled events) and the
+        # profile sampler draws in request-arrival order, so every
+        # scenario config must stay inside the three-kernel bit-identity
+        # contract; both differential oracles do full-result asdict diffs.
+        case = FuzzCase(base=base, workload="capacity-churn", ops=400, seed=1)
+        assert run_oracle("diff_kernel", case) is None
+        assert run_oracle("diff_batch", case) is None
+
 
 class TestWarmupReplayEquivalence:
     def test_lru_replay_matches_generic(self):

@@ -129,8 +129,16 @@ class TestParitySuite:
         s = ParitySuite(workloads=("mcf", "gcc"), ops=700, seed=3)
         assert ParitySuite.from_json(s.to_json()) == s
 
-    def test_defaults_cover_all_config_families(self):
+    def test_defaults_cover_the_paper_configs(self):
+        # The default suite is the PAPER grid goldens/parity.json records;
+        # scenario configs have their own suite (repro.parity.scenarios).
+        from repro.parity.scenarios import SCENARIO_CONFIGS, scenario_suite
+        from repro.system.config import PAPER_CONFIGS
         s = ParitySuite()
-        assert set(s.configs) == set(ALL_CONFIGS)
+        assert set(s.configs) == set(PAPER_CONFIGS)
         assert BASELINE_CONFIG in s.configs
         assert len(s.workloads) >= 10
+        # Together the two suites cover every named config family.
+        scen = scenario_suite()
+        assert scen.configs == SCENARIO_CONFIGS
+        assert set(s.configs) | set(scen.configs) == set(ALL_CONFIGS)

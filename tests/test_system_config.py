@@ -70,7 +70,13 @@ class TestSystemConfig:
     def test_all_configs_registry(self):
         assert set(ALL_CONFIGS) == {
             "ddr-baseline", "coaxial-2x", "coaxial-4x", "coaxial-5x",
-            "coaxial-asym",
+            "coaxial-asym", "tiered-static", "tiered-lru", "tiered-epoch",
+            "cxl-ssd", "cxl-profiled",
         }
         for factory in ALL_CONFIGS.values():
             assert isinstance(factory(), SystemConfig)
+
+    def test_paper_configs_subset(self):
+        from repro.system.config import PAPER_CONFIGS
+        assert set(PAPER_CONFIGS) <= set(ALL_CONFIGS)
+        assert len(PAPER_CONFIGS) == 5
