@@ -1,15 +1,22 @@
 #!/usr/bin/env python
-"""CI gate: observability overhead on simulation throughput.
+"""CI gate: observability + tracing overhead on simulation throughput.
 
-Runs the same job with observability off and on ("on" = metrics +
-time-series sampling; the kernel profiler is excluded because CI wants
-the steady-state cost of leaving ``REPRO_OBS=1`` set, not the cost of
-an explicit profiling session) and compares events/s. Each mode gets a
-warmup run and then ``--reps`` timed runs; the best rep per mode is
-compared so scheduler noise on shared CI runners doesn't trip the gate.
+Runs the same job in three modes and compares events/s:
 
-Exit status: 0 when the obs-on throughput is within ``--gate`` of the
-obs-off throughput (default 10%), 1 otherwise.
+* ``off``      — no observers at all (the reference throughput);
+* ``obs``      — metrics + time-series sampling ("on"; the kernel
+  profiler is excluded because CI wants the steady-state cost of
+  leaving ``REPRO_OBS=1`` set, not the cost of an explicit profiling
+  session);
+* ``obs+trace`` — the same obs collector plus the causal span tracer
+  (``tracing="on"``), the full always-on observability stack.
+
+Each mode gets a warmup run and then ``--reps`` timed runs; the best
+rep per mode is compared so scheduler noise on shared CI runners
+doesn't trip the gate.
+
+Exit status: 0 when both observed modes stay within ``--gate`` of the
+bare throughput (default 10%), 1 otherwise.
 """
 
 from __future__ import annotations
@@ -23,13 +30,15 @@ from repro.system.sim import simulate
 from repro.workloads import get_workload
 
 
-def best_events_per_s(cfg, wl, ops: int, seed: int, obs: str,
+def best_events_per_s(cfg, wl, ops: int, seed: int, obs, tracing,
                       reps: int) -> float:
-    simulate(cfg, wl, ops_per_core=ops // 2, seed=seed, obs=obs)  # warmup
+    simulate(cfg, wl, ops_per_core=ops // 2, seed=seed, obs=obs,
+             tracing=tracing)  # warmup
     best = 0.0
     for _ in range(reps):
         t0 = time.perf_counter()
-        r = simulate(cfg, wl, ops_per_core=ops, seed=seed, obs=obs)
+        r = simulate(cfg, wl, ops_per_core=ops, seed=seed, obs=obs,
+                     tracing=tracing)
         wall = time.perf_counter() - t0
         best = max(best, r.extras["events_fired"] / wall)
     return best
@@ -43,19 +52,31 @@ def main(argv=None) -> int:
     ap.add_argument("--seed", type=int, default=1)
     ap.add_argument("--reps", type=int, default=3)
     ap.add_argument("--gate", type=float, default=0.10,
-                    help="max tolerated fractional slowdown with obs on")
+                    help="max tolerated fractional slowdown per observed mode")
     args = ap.parse_args(argv)
 
     cfg = ALL_CONFIGS[args.config]()
     wl = get_workload(args.workload)
-    off = best_events_per_s(cfg, wl, args.ops, args.seed, "off", args.reps)
-    on = best_events_per_s(cfg, wl, args.ops, args.seed, "on", args.reps)
-    slowdown = 1.0 - on / off
-    print(f"obs off : {off:12.0f} events/s")
-    print(f"obs on  : {on:12.0f} events/s")
-    print(f"slowdown: {100.0 * slowdown:+.2f}% (gate {100.0 * args.gate:.0f}%)")
-    if slowdown > args.gate:
-        print("FAIL: observability overhead exceeds the gate", file=sys.stderr)
+    off = best_events_per_s(cfg, wl, args.ops, args.seed, "off", "off",
+                            args.reps)
+    modes = {
+        "obs": best_events_per_s(cfg, wl, args.ops, args.seed, "on", "off",
+                                 args.reps),
+        "obs+trace": best_events_per_s(cfg, wl, args.ops, args.seed, "on",
+                                       "on", args.reps),
+    }
+    print(f"{'off':<10s}: {off:12.0f} events/s")
+    failed = []
+    for name, eps in modes.items():
+        slowdown = 1.0 - eps / off
+        print(f"{name:<10s}: {eps:12.0f} events/s  "
+              f"({100.0 * slowdown:+.2f}% vs off, "
+              f"gate {100.0 * args.gate:.0f}%)")
+        if slowdown > args.gate:
+            failed.append(name)
+    if failed:
+        print(f"FAIL: overhead gate exceeded by: {', '.join(failed)}",
+              file=sys.stderr)
         return 1
     print("OK")
     return 0

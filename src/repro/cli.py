@@ -106,9 +106,19 @@ def cmd_run(args: argparse.Namespace) -> int:
         # The exported file should answer "where did the time go", so an
         # explicit --obs run collects the kernel profile as well.
         collector = ObsCollector(mode=args.obs_mode)
+    tracing = args.tracing
+    if args.trace_out:
+        from pathlib import Path
+        if Path(args.trace_out).suffix.lower() not in (".json", ".jsonl"):
+            print(f"error: unknown span trace format "
+                  f"{Path(args.trace_out).suffix!r} for {args.trace_out}; "
+                  f"use a .json (Perfetto) or .jsonl path", file=sys.stderr)
+            return 2
+        tracing = tracing or "on"
     r = simulate(cfg, wl, ops_per_core=args.ops, seed=args.seed,
                  validate=args.validate, kernel=args.kernel,
-                 obs=collector if collector is not None else None)
+                 obs=collector if collector is not None else None,
+                 tracing=tracing)
     print(r.summary())
     print(f"  miss latency     : p50 {r.p50_miss_latency:.1f} / "
           f"p90 {r.p90_miss_latency:.1f} / p99 {r.p99_miss_latency:.1f} / "
@@ -129,6 +139,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         hint = (f" (render with: repro obs report {out})"
                 if out.suffix.lower() in (".jsonl",) else "")
         print(f"  metrics          : -> {out}{hint}")
+    if args.trace_out:
+        from repro.tracing import export_trace
+        tout = export_trace(r.extras["trace"], args.trace_out)
+        att = r.extras["trace"]["attribution"]
+        print(f"  spans            : {att['n']} measured requests -> {tout} "
+              f"(view with: repro trace view {tout})")
     report = r.extras.get("invariant_violations")
     if report is not None:
         _print_violation_report(report)
@@ -177,6 +193,63 @@ def cmd_trace(args: argparse.Namespace) -> int:
     report = r.extras.get("invariant_violations", {})
     _print_violation_report(report)
     return 1 if report.get("count", 0) else 0
+
+
+def cmd_trace_view(args: argparse.Namespace) -> int:
+    """Summarize an exported span trace: attribution + slowest requests."""
+    from repro.tracing import attribution_table, load_trace, slowest
+
+    try:
+        snap = load_trace(args.file)
+    except (OSError, ValueError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    print(f"trace: {args.file}")
+    print(f"  schema {snap.get('schema')}  mode {snap.get('mode')}  "
+          f"trace_id {snap.get('trace_id') or '-'}")
+    print()
+    print(attribution_table(snap))
+    rows = slowest(snap, n=args.top)
+    if rows:
+        print()
+        print(f"slowest {len(rows)} retained request(s):")
+        for row in rows:
+            print(f"  req {row['req_id']:<8d} core {row['core']:<3d} "
+                  f"{'hit ' if row.get('llc_hit') else 'miss'} "
+                  f"total {row['total']:>10.1f} ns")
+    kernel_events = snap.get("kernel_events")
+    if kernel_events:
+        print()
+        print(f"kernel events ({sum(kernel_events.values())} fired):")
+        for name, count in sorted(kernel_events.items(),
+                                  key=lambda kv: -kv[1])[:10]:
+            print(f"  {name:<44s} {count:>10d}")
+    return 0
+
+
+def cmd_trace_critpath(args: argparse.Namespace) -> int:
+    """Print per-request critical-path blocking chains from a trace."""
+    from repro.tracing import format_critical_path, load_trace, slowest
+
+    try:
+        snap = load_trace(args.file)
+    except (OSError, ValueError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    rows = snap.get("spans") or []
+    if args.req is not None:
+        rows = [r for r in rows if r["req_id"] == args.req]
+        if not rows:
+            print(f"error: request {args.req} is not in the retained ring "
+                  f"({len(snap.get('spans') or [])} row(s))", file=sys.stderr)
+            return 1
+    else:
+        rows = slowest(snap, n=args.top)
+    for i, row in enumerate(rows):
+        if i:
+            print()
+        print(format_critical_path(row))
+    return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -249,7 +322,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     try:
         jobs = expand_grid(configs, workloads, ops=args.ops, seeds=seeds,
                            validate=args.validate, obs=args.obs,
-                           kernel=args.kernel,
+                           kernel=args.kernel, tracing=args.tracing,
                            overrides=_device_overrides(args))
     except ValueError as e:
         print(f"error: {e}", file=sys.stderr)
@@ -332,7 +405,7 @@ def cmd_fleet_worker(args: argparse.Namespace) -> int:
     return run_worker(broker_url=args.broker, worker_id=args.id,
                       poll_s=args.poll, max_tasks=args.max_tasks,
                       oneshot=not args.keep_alive, no_cache=args.no_cache,
-                      cache_dir=args.cache_dir)
+                      cache_dir=args.cache_dir, trace_dir=args.trace_dir)
 
 
 def cmd_fleet_sweep(args: argparse.Namespace) -> int:
@@ -352,16 +425,24 @@ def cmd_fleet_sweep(args: argparse.Namespace) -> int:
     else:
         workloads = _parse_list(args.workloads)
     seeds = [int(s) for s in _parse_list(args.seeds)]
+    trace_id = None
+    if args.tracing and args.tracing != "off":
+        # Submission is the root of the causal chain: one id for the whole
+        # grid, recoverable from every worker-side span export.
+        import uuid
+        trace_id = uuid.uuid4().hex
     try:
         specs = expand_specs(configs, workloads, ops=args.ops, seeds=seeds,
                              validate=args.validate, obs=args.obs,
-                             kernel=args.kernel)
+                             kernel=args.kernel, tracing=args.tracing,
+                             trace_id=trace_id)
     except KeyError as e:
         print(f"error: {e.args[0]}", file=sys.stderr)
         return 2
 
     client = FleetClient(args.broker)
-    print(f"fleet sweep: {len(specs)} job(s) -> {client.broker_url}")
+    print(f"fleet sweep: {len(specs)} job(s) -> {client.broker_url}"
+          + (f" (trace {trace_id})" if trace_id else ""))
 
     def tick(done: int, total: int) -> None:
         if not args.quiet:
@@ -877,6 +958,13 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["fast", "reference", "batch"],
                     help="dispatch-loop mode (default: fast); all modes "
                          "produce bit-identical results")
+    pr.add_argument("--tracing", default=None, choices=["on", "kernel"],
+                    help="per-request causal span tracing (zero-perturbation; "
+                         "'kernel' also counts fired events per callback)")
+    pr.add_argument("--trace-out", default=None, metavar="PATH",
+                    help="export the span trace to PATH (.json = Perfetto "
+                         "trace_event, .jsonl = span lines); implies "
+                         "--tracing on")
     _add_device_args(pr)
     pr.set_defaults(fn=cmd_run)
 
@@ -897,6 +985,25 @@ def build_parser() -> argparse.ArgumentParser:
     pt.add_argument("--strict", action="store_true",
                     help="raise on the first invariant violation")
     pt.set_defaults(fn=cmd_trace)
+    ptsub = pt.add_subparsers(dest="trace_command",
+                              metavar="{view,critpath}")
+    ptv = ptsub.add_parser(
+        "view", help="summarize an exported span trace "
+                     "(Perfetto .json or span .jsonl)")
+    ptv.add_argument("file", help="trace written by 'repro run --trace-out' "
+                                  "or a fleet worker's --trace-dir")
+    ptv.add_argument("--top", type=int, default=5,
+                     help="slowest requests to list (default 5)")
+    ptv.set_defaults(fn=cmd_trace_view)
+    ptc = ptsub.add_parser(
+        "critpath", help="per-request critical-path blocking chains")
+    ptc.add_argument("file", help="trace written by 'repro run --trace-out' "
+                                  "or a fleet worker's --trace-dir")
+    ptc.add_argument("--top", type=int, default=3,
+                     help="slowest requests to expand (default 3)")
+    ptc.add_argument("--req", type=int, default=None,
+                     help="expand one specific request id instead")
+    ptc.set_defaults(fn=cmd_trace_critpath)
 
     pc = sub.add_parser("compare", help="speedup of configs over a baseline")
     pc.add_argument("--workloads", default="stream-copy,PageRank,gcc")
@@ -944,6 +1051,10 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["fast", "reference", "batch"],
                     help="dispatch-loop mode for uncached jobs; combine "
                          "with --no-cache to actually exercise the loop")
+    ps.add_argument("--tracing", default=None,
+                    choices=["off", "on", "kernel"],
+                    help="per-job causal span tracing (cache hits carry "
+                         "no trace payload)")
     _add_device_args(ps)
     ps.set_defaults(fn=cmd_sweep)
 
@@ -1014,6 +1125,9 @@ def build_parser() -> argparse.ArgumentParser:
     pflw.add_argument("--cache-dir", default=None,
                       help="cache root (default: REPRO_CACHE_DIR or "
                            "~/.cache/repro)")
+    pflw.add_argument("--trace-dir", default=None,
+                      help="export each freshly traced task's spans as "
+                           "Perfetto JSON into this directory")
     pflw.set_defaults(fn=cmd_fleet_worker)
 
     pfls = flsub.add_parser(
@@ -1041,6 +1155,10 @@ def build_parser() -> argparse.ArgumentParser:
     pfls.add_argument("--validate", default=None,
                       choices=["off", "on", "strict"],
                       help="invariant auditing per job")
+    pfls.add_argument("--tracing", default=None,
+                      choices=["off", "on", "kernel"],
+                      help="per-job causal span tracing; mints one trace id "
+                           "for the grid and stamps every task with it")
     pfls.add_argument("--obs", default=None, choices=["off", "on", "profile"],
                       help="per-job observability; enables exact fleet "
                            "quantile merging in the benchmark record")

@@ -59,6 +59,13 @@ class Simulator:
         #: callback; when ``None`` (the default) the dispatch loops are
         #: untouched and pay nothing.
         self.profiler = None
+        #: Optional per-dispatch observer ``hook(fn)`` (repro.tracing's
+        #: kernel mode). Called once per *fired* event, after its callback
+        #: ran — never for cancelled entries — and honored identically by
+        #: all dispatch loops, so hooked runs stay bit-identical. ``None``
+        #: (the default) costs the fast loop nothing: :meth:`run` swaps in
+        #: :meth:`run_hooked` only when a hook is installed.
+        self.event_hook = None
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
         """Schedule ``fn(*args)`` to run ``delay`` ns from now (delay >= 0)."""
@@ -153,6 +160,9 @@ class Simulator:
         if self.kernel == "batch":
             self.run_batch(until=until, max_events=max_events)
             return
+        if self.event_hook is not None:
+            self.run_hooked(until=until, max_events=max_events)
+            return
         queue = self.queue
         heap = queue._heap
         cancelled = queue._cancelled
@@ -190,6 +200,39 @@ class Simulator:
                     break
         self.events_fired += fired
 
+    def run_hooked(self, until: Optional[float] = None,
+                   max_events: Optional[int] = None) -> None:
+        """The fast loop with :attr:`event_hook` called after each dispatch.
+
+        Bit-identical simulation semantics to :meth:`run` — same
+        ``(time, seq)`` ordering, ``until`` clock handling, and
+        cancellation — plus one ``hook(fn)`` call per fired event. The
+        hook is an observer (repro.tracing's deterministic dispatch
+        counter); it must not schedule.
+        """
+        queue = self.queue
+        heap = queue._heap
+        cancelled = queue._cancelled
+        heappop = heapq.heappop
+        hook = self.event_hook
+        fired = 0
+        while heap:
+            if until is not None and heap[0][0] > until:
+                self.now = until
+                break
+            time, seq, fn, args = heappop(heap)
+            if cancelled and seq in cancelled:
+                cancelled.discard(seq)
+                continue
+            queue._live -= 1
+            self.now = time
+            fn(*args)
+            hook(fn)
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                break
+        self.events_fired += fired
+
     def run_batch(self, until: Optional[float] = None,
                   max_events: Optional[int] = None) -> None:
         """Batched dispatch loop: drain all events at one timestamp together.
@@ -217,6 +260,7 @@ class Simulator:
         cancelled = queue._cancelled
         heappop = heapq.heappop
         heappush = heapq.heappush
+        hook = self.event_hook
         fired = 0
         tail: list = []
         self._batch_tail = tail
@@ -238,6 +282,8 @@ class Simulator:
                         queue._live -= 1
                         self.now = t0
                         fn(*args)
+                        if hook is not None:
+                            hook(fn)
                         fired += 1
                         if max_events is not None and fired >= max_events:
                             for e in tail:
@@ -260,6 +306,8 @@ class Simulator:
                         queue._live -= 1
                         self.now = t0
                         e[2](*e[3])
+                        if hook is not None:
+                            hook(e[2])
                         fired += 1
                         if max_events is not None and fired >= max_events:
                             # Unfired same-time entries go back on the heap
@@ -292,6 +340,7 @@ class Simulator:
         cancelled = queue._cancelled
         heappop = heapq.heappop
         data = self.profiler.data
+        hook = self.event_hook
         fired = 0
         while heap:
             if until is not None and heap[0][0] > until:
@@ -313,6 +362,8 @@ class Simulator:
             else:
                 ent[0] += 1
                 ent[1] += dt
+            if hook is not None:
+                hook(fn)
             fired += 1
             if max_events is not None and fired >= max_events:
                 break
@@ -330,6 +381,7 @@ class Simulator:
         do not "optimize" it.
         """
         queue = self.queue
+        hook = self.event_hook
         fired = 0
         while True:
             t = queue.peek_time()
@@ -342,6 +394,8 @@ class Simulator:
             assert ev is not None  # peek_time said there was one
             self.now = ev.time
             ev.fn(*ev.args)
+            if hook is not None:
+                hook(ev.fn)
             fired += 1
             if max_events is not None and fired >= max_events:
                 break

@@ -9,6 +9,8 @@ Record schema (stable; additions only)::
     {
       "schema": 1,
       "version": "<repro package version>",
+      "git_sha": "<HEAD commit, null outside a checkout>",   # additive
+      "config_digests": {"<config name>": "<12-hex digest>"},  # additive
       "workers": 4,
       "total_wall_s": 12.3,          # end-to-end sweep wall time
       "jobs": [ {config, workload, ops, seed, wall_s, events,
@@ -71,6 +73,38 @@ def is_committed_baseline(path: os.PathLike) -> bool:
     except (OSError, json.JSONDecodeError):
         return False
     return isinstance(payload, dict) and bool(payload.get("baseline"))
+
+
+def _git_sha() -> Optional[str]:
+    """HEAD commit of the enclosing checkout, or ``None`` without git.
+
+    Benchmark records are compared across runs recorded days apart;
+    "which code produced this number" must live in the file itself, not
+    in the shell history. Never raises — a missing git binary or a
+    non-repo install just leaves the field null.
+    """
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            timeout=5.0, cwd=Path(__file__).resolve().parent)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def _config_digests(configs: Sequence[Any]) -> Dict[str, str]:
+    """name -> short content digest for every distinct config measured.
+
+    The digest covers the *complete* config fingerprint (every field, via
+    :func:`repro.exec.cache.config_digest`), so two records sharing a
+    config name but differing in any knob are distinguishable.
+    """
+    from repro.exec.cache import config_digest
+
+    return {cfg.name: config_digest(cfg) for cfg in configs}
 
 
 def job_record(jr: JobResult) -> Dict[str, Any]:
@@ -156,6 +190,8 @@ def bench_record(results: Sequence[JobResult], total_wall_s: float,
     return {
         "schema": BENCH_SCHEMA_VERSION,
         "version": __version__,
+        "git_sha": _git_sha(),
+        "config_digests": _config_digests([r.job.config for r in results]),
         "workers": workers,
         "total_wall_s": round(total_wall_s, 4),
         "jobs": [job_record(r) for r in results],
@@ -232,6 +268,8 @@ def kernel_bench_record(kernels: Sequence[str],
     return {
         "schema": BENCH_SCHEMA_VERSION,
         "version": __version__,
+        "git_sha": _git_sha(),
+        "config_digests": _config_digests([cfg for cfg, _wl in grid]),
         "suite": [f"{c}/{w}/ops={ops}" for c in configs for w in workloads],
         "seed": seed,
         "repeats": repeats,

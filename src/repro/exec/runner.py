@@ -77,6 +77,17 @@ class SweepJob:
     #: measurement of a specific kernel must bypass the cache
     #: (``--no-cache``), or the "run" may be a replayed stored result.
     kernel: Optional[str] = None
+    #: Span-tracing mode forwarded to ``simulate(tracing=...)``: None (env
+    #: default) / "off" / "on" / "kernel". Like ``obs`` it is not part of
+    #: the cache key — tracing observes a run without changing it — so a
+    #: cache hit returns the stored result as-is (without an
+    #: ``extras["trace"]`` payload if it was stored without one).
+    tracing: Optional[str] = None
+    #: Distributed trace id (minted at ``repro serve`` submit and threaded
+    #: through fleet TaskSpecs). Stamped into the freshly simulated
+    #: result's ``extras["trace"]["trace_id"]``; purely an identity tag,
+    #: never part of the cache key.
+    trace_id: Optional[str] = None
 
     def label(self) -> str:
         tag = f"/kernel={self.kernel}" if self.kernel else ""
@@ -109,8 +120,13 @@ def _simulate_job(job: SweepJob) -> Tuple[SimResult, float, int]:
     t0 = _time.perf_counter()
     result = simulate(job.config, get_workload(job.workload),
                       ops_per_core=job.ops, seed=job.seed,
-                      validate=job.validate, obs=job.obs, kernel=job.kernel)
+                      validate=job.validate, obs=job.obs, kernel=job.kernel,
+                      tracing=job.tracing)
     wall = _time.perf_counter() - t0
+    if job.trace_id is not None:
+        trace = result.extras.get("trace")
+        if isinstance(trace, dict):
+            trace["trace_id"] = job.trace_id
     events = int(result.extras.get("events_fired", 0))
     return result, wall, events
 
@@ -121,6 +137,8 @@ def expand_grid(configs: Sequence[str], workloads: Sequence[str],
                 validate: Optional[str] = None,
                 obs: Optional[str] = None,
                 kernel: Optional[str] = None,
+                tracing: Optional[str] = None,
+                trace_id: Optional[str] = None,
                 overrides: Optional[Dict[str, Any]] = None) -> List[SweepJob]:
     """Build the (config x workload x seed) job list from config names.
 
@@ -138,7 +156,8 @@ def expand_grid(configs: Sequence[str], workloads: Sequence[str],
         for w in workloads:
             for s in seeds:
                 jobs.append(SweepJob(cfg, w, ops, s, validate=validate,
-                                     obs=obs, kernel=kernel))
+                                     obs=obs, kernel=kernel, tracing=tracing,
+                                     trace_id=trace_id))
     return jobs
 
 
@@ -507,10 +526,11 @@ def run_sweep(configs: Sequence[str], workloads: Sequence[str],
               validate: Optional[str] = None,
               obs: Optional[str] = None,
               kernel: Optional[str] = None,
+              tracing: Optional[str] = None,
               ) -> List[JobResult]:
     """One-call grid sweep: expand, run, return ordered :class:`JobResult`\\ s."""
     jobs = expand_grid(configs, workloads, ops, seeds, validate=validate,
-                       obs=obs, kernel=kernel)
+                       obs=obs, kernel=kernel, tracing=tracing)
     runner = SweepRunner(workers=workers, cache=cache,
                          job_timeout_s=job_timeout_s, retries=retries,
                          progress=progress)

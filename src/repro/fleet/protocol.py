@@ -48,6 +48,11 @@ class TaskSpec:
     validate: Optional[str] = None
     obs: Optional[str] = None
     kernel: Optional[str] = None
+    tracing: Optional[str] = None
+    #: Distributed trace id: minted at ``repro serve`` submit, carried
+    #: through broker lease -> worker settle so the worker-side span
+    #: export (and ``extras["trace"]``) names the originating job.
+    trace_id: Optional[str] = None
 
     def label(self) -> str:
         ov = ",".join(f"{k}={v}" for k, v in sorted(self.overrides.items()))
@@ -60,7 +65,7 @@ class TaskSpec:
                              "ops": self.ops, "seed": self.seed}
         if self.overrides:
             d["overrides"] = dict(self.overrides)
-        for key in ("validate", "obs", "kernel"):
+        for key in ("validate", "obs", "kernel", "tracing", "trace_id"):
             val = getattr(self, key)
             if val is not None:
                 d[key] = val
@@ -71,7 +76,7 @@ class TaskSpec:
         if not isinstance(d, dict):
             raise ValueError(f"task spec must be an object, got {type(d).__name__}")
         unknown = set(d) - {"base", "overrides", "workload", "ops", "seed",
-                            "validate", "obs", "kernel"}
+                            "validate", "obs", "kernel", "tracing", "trace_id"}
         if unknown:
             raise ValueError(f"unknown task spec field(s): {sorted(unknown)}")
         return cls(base=d.get("base", "ddr-baseline"),
@@ -79,7 +84,8 @@ class TaskSpec:
                    workload=d.get("workload", "mcf"),
                    ops=d.get("ops"), seed=int(d.get("seed", 1)),
                    validate=d.get("validate"), obs=d.get("obs"),
-                   kernel=d.get("kernel"))
+                   kernel=d.get("kernel"), tracing=d.get("tracing"),
+                   trace_id=d.get("trace_id"))
 
     # -- materialization -------------------------------------------------------
     def build_job(self) -> SweepJob:
@@ -87,7 +93,8 @@ class TaskSpec:
         return SweepJob(config=build_spec_config(self.base, self.overrides),
                         workload=self.workload, ops=self.ops, seed=self.seed,
                         validate=self.validate, obs=self.obs,
-                        kernel=self.kernel)
+                        kernel=self.kernel, tracing=self.tracing,
+                        trace_id=self.trace_id)
 
 
 def build_spec_config(base: str, overrides: Dict[str, Any]) -> SystemConfig:
@@ -119,7 +126,8 @@ def build_spec_config(base: str, overrides: Dict[str, Any]) -> SystemConfig:
 def expand_specs(configs: Sequence[str], workloads: Sequence[str],
                  ops: Optional[int] = None, seeds: Sequence[int] = (1,),
                  validate: Optional[str] = None, obs: Optional[str] = None,
-                 kernel: Optional[str] = None) -> List[TaskSpec]:
+                 kernel: Optional[str] = None, tracing: Optional[str] = None,
+                 trace_id: Optional[str] = None) -> List[TaskSpec]:
     """The (config x workload x seed) grid as specs (cf. ``expand_grid``)."""
     specs = []
     for c in configs:
@@ -129,7 +137,8 @@ def expand_specs(configs: Sequence[str], workloads: Sequence[str],
             for s in seeds:
                 specs.append(TaskSpec(base=c, workload=w, ops=ops, seed=s,
                                       validate=validate, obs=obs,
-                                      kernel=kernel))
+                                      kernel=kernel, tracing=tracing,
+                                      trace_id=trace_id))
     return specs
 
 

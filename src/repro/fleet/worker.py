@@ -63,12 +63,21 @@ class FleetWorker:
     broker_grace_s:
         Exit with :class:`BrokerGone` after this long without a
         reachable broker.
+    trace_dir:
+        When set, every freshly simulated task that carries an
+        ``extras["trace"]`` span payload (i.e. was leased with
+        ``tracing`` on) is also exported as Perfetto ``trace_event``
+        JSON into this directory, named by its trace id and task id —
+        the worker-side leg of distributed trace propagation. Cache
+        hits are not exported (a stored result has no trace payload
+        unless it was traced when stored).
     """
 
     def __init__(self, broker_url: str, worker_id: Optional[str] = None,
                  cache: Optional[ResultCache] = None, poll_s: float = 0.5,
                  max_tasks: int = 1, oneshot: bool = True,
                  broker_grace_s: float = 30.0,
+                 trace_dir: Optional[Path] = None,
                  log: Callable[[str], None] = lambda msg: None):
         self.broker_url = broker_url.rstrip("/")
         host = self.broker_url.split("://", 1)[-1]
@@ -80,6 +89,7 @@ class FleetWorker:
         self.max_tasks = max(1, max_tasks)
         self.oneshot = oneshot
         self.broker_grace_s = broker_grace_s
+        self.trace_dir = Path(trace_dir) if trace_dir else None
         self.log = log
         self.tasks_run = 0
         self.tasks_cached = 0
@@ -165,6 +175,7 @@ class FleetWorker:
                                    job.seed, jr.result)
                     stored = True
                 self.tasks_run += 1
+                self._export_trace(task_id, jr)
             payload = {**result_to_wire(jr), "stored": stored}
             out = self._post("/settle", {"worker": self.worker_id,
                                          "id": task_id, "payload": payload})
@@ -184,6 +195,23 @@ class FleetWorker:
                 pass
         finally:
             heartbeat.set()
+
+    def _export_trace(self, task_id: int, jr: JobResult) -> None:
+        """Write a freshly traced result's spans as Perfetto JSON."""
+        if self.trace_dir is None or jr.result is None:
+            return
+        snap = jr.result.extras.get("trace")
+        if not isinstance(snap, dict):
+            return
+        from repro.tracing.export import export_perfetto
+
+        tid = snap.get("trace_id") or "local"
+        path = self.trace_dir / f"trace-{tid}-task{task_id}.json"
+        try:
+            export_perfetto(snap, path)
+            self.log(f"worker {self.worker_id}: task {task_id} trace -> {path}")
+        except OSError as e:
+            self.log(f"worker {self.worker_id}: trace export failed: {e}")
 
     def _start_heartbeat(self, task_id: int, lease_s: float) -> threading.Event:
         """Renew the lease on a daemon thread until the returned event fires."""
@@ -205,7 +233,8 @@ class FleetWorker:
 
 def run_worker(broker_url: str, worker_id: Optional[str], poll_s: float,
                max_tasks: int, oneshot: bool, no_cache: bool = False,
-               cache_dir: Optional[str] = None) -> int:
+               cache_dir: Optional[str] = None,
+               trace_dir: Optional[str] = None) -> int:
     """Blocking entry point for ``repro fleet worker`` (returns exit code)."""
     import signal
     import sys
@@ -216,6 +245,7 @@ def run_worker(broker_url: str, worker_id: Optional[str], poll_s: float,
         broker_url, worker_id=worker_id,
         cache=cache if cache.enabled else None, poll_s=poll_s,
         max_tasks=max_tasks, oneshot=oneshot,
+        trace_dir=Path(trace_dir) if trace_dir else None,
         log=lambda msg: print(msg, file=sys.stderr, flush=True))
     for sig in (signal.SIGTERM, signal.SIGINT):
         signal.signal(sig, lambda *_: worker.stop())

@@ -86,7 +86,8 @@ READ_HEAVY_WRITE_FRAC = 0.10
 def _simulate(case: FuzzCase, *, validate: str = "off",
               kernel: Optional[str] = None, cfg=None,
               ops: Optional[int] = None,
-              obs: Optional[str] = None) -> SimResult:
+              obs: Optional[str] = None,
+              tracing: Optional[str] = None) -> SimResult:
     from repro.system.sim import simulate
 
     return simulate(cfg if cfg is not None else build_config(case),
@@ -94,7 +95,7 @@ def _simulate(case: FuzzCase, *, validate: str = "off",
                     ops_per_core=ops if ops is not None else case.ops,
                     seed=case.seed, validate=validate,
                     kernel=kernel if kernel is not None else case.kernel,
-                    obs=obs)
+                    obs=obs, tracing=tracing)
 
 
 def _result_diff(a: SimResult, b: SimResult) -> List[str]:
@@ -421,6 +422,49 @@ def check_obs(case: FuzzCase) -> Optional[str]:
     return None
 
 
+def check_tracing(case: FuzzCase) -> Optional[str]:
+    """The span tracer is a *zero-perturbation* observer on every kernel.
+
+    Stricter than the obs oracle: tracing schedules no events of its own,
+    so a traced run must match the untraced twin in **every** result
+    field — ``events_fired`` included — except for the
+    ``extras["trace"]`` payload itself. The payload is then sanity
+    checked: attribution components must be non-negative, sum to the
+    total, and count exactly the measured misses plus hits.
+    """
+    import dataclasses as _dc
+
+    from repro.tracing.critpath import ATTRIBUTION_COMPONENTS
+
+    for kern in ("fast", "batch", "reference"):
+        plain = _simulate(case, kernel=kern, tracing="off")
+        traced = _simulate(case, kernel=kern, tracing="on")
+        da, db = _dc.asdict(plain), _dc.asdict(traced)
+        payload = db["extras"].pop("trace", None)
+        diffs = [f"{k}: {da[k]!r} != {db[k]!r}" for k in da if da[k] != db[k]]
+        if diffs:
+            return (f"tracing=on perturbed the {kern} kernel: "
+                    + "; ".join(diffs[:5]))
+        if payload is None:
+            return f"tracing=on produced no extras['trace'] payload ({kern})"
+        att = payload.get("attribution") or {}
+        bad = [c for c in ATTRIBUTION_COMPONENTS if att.get(c, 0.0) < 0]
+        if bad:
+            return f"negative attribution component(s) {bad}: {att}"
+        if att.get("n", -1) != att.get("hits", 0) + att.get("misses", 0):
+            return (f"attribution n {att.get('n')} != hits "
+                    f"{att.get('hits')} + misses {att.get('misses')}")
+        parts = sum(att.get(c, 0.0) for c in ATTRIBUTION_COMPONENTS)
+        total = att.get("total", 0.0)
+        # Clamped residuals (onchip, serialization) can only push the
+        # component sum *above* the total; under-coverage means time was
+        # lost on the walk.
+        if parts < total - 1e-6 * max(1.0, abs(total)):
+            return (f"attribution components sum to {parts!r}, "
+                    f"under-covering total {total!r} ({kern})")
+    return None
+
+
 # -- regression-only oracles (replayed from the corpus, not fuzzed) -----------
 
 def check_calm_clock(case: FuzzCase) -> Optional[str]:
@@ -474,6 +518,7 @@ ORACLES: Dict[str, Oracle] = {o.name: o for o in [
     Oracle("migration_identity", check_migration_identity, applies=_is_tiered),
     Oracle("ssd_hit_path", check_ssd_hit_path, applies=_is_ssd_backed),
     Oracle("obs", check_obs),
+    Oracle("tracing", check_tracing),
     Oracle("calm_clock", check_calm_clock, default=False),
 ]}
 

@@ -109,9 +109,15 @@ def _series_section(run: Dict) -> List[str]:
     lines = [f"Time series ({len(t)} windows of {interval:.0f} ns):"]
 
     def row(label: str, values: List[float], unit: str = "") -> None:
-        peak = max(values) if values else 0.0
-        mean = sum(values) / len(values) if values else 0.0
-        lines.append(f"  {label:<16s} {sparkline(values)}  "
+        # An absent or empty column renders nothing: a label with no
+        # sparkline and zero stats is noise, not data. Single-point
+        # series are fine — the sparkline is just padded to keep the
+        # mean/peak columns aligned across rows.
+        if not values:
+            return
+        peak = max(values)
+        mean = sum(values) / len(values)
+        lines.append(f"  {label:<16s} {sparkline(values):<32s}  "
                      f"mean {mean:8.2f}{unit}  peak {peak:8.2f}{unit}")
 
     channels = sorted({name.split(".")[0] for name in cols
@@ -132,10 +138,11 @@ def _series_section(run: Dict) -> List[str]:
     if "mshr" in cols:
         row("mshr occ", cols["mshr"])
     go, sup = cols.get("calm.go"), cols.get("calm.suppress")
-    if go and any(go) or sup and any(sup):
+    if (go and any(go)) or (sup and any(sup)):
         row("calm go", go or [])
         row("calm suppress", sup or [])
-    return lines
+    # Every column empty: drop the section instead of a bare header.
+    return lines if len(lines) > 1 else []
 
 
 def render_report(run: Dict, top: int = 12) -> str:

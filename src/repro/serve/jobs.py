@@ -14,6 +14,7 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -49,7 +50,7 @@ def parse_job_request(payload: Dict[str, Any],
     if not isinstance(payload, dict):
         raise BadRequest("job submission must be a JSON object")
     known = {"configs", "workloads", "ops", "seeds", "priority", "tenant",
-             "validate", "kernel"}
+             "validate", "kernel", "tracing"}
     unknown = set(payload) - known
     if unknown:
         raise BadRequest(f"unknown field(s): {', '.join(sorted(unknown))}; "
@@ -100,17 +101,21 @@ def parse_job_request(payload: Dict[str, Any],
     kernel = payload.get("kernel")
     if kernel is not None and kernel not in ("fast", "reference", "batch"):
         raise BadRequest("'kernel' must be one of fast/reference/batch")
+    tracing = payload.get("tracing")
+    if tracing is not None and tracing not in ("off", "on", "kernel"):
+        raise BadRequest("'tracing' must be one of off/on/kernel")
 
     try:
         tasks = expand_grid(configs, workloads, ops=ops, seeds=seeds,
-                            validate=validate, kernel=kernel)
+                            validate=validate, kernel=kernel, tracing=tracing)
     except KeyError as e:
         raise BadRequest(str(e).strip("'\"")) from None
     if len(tasks) > MAX_TASKS_PER_JOB:
         raise BadRequest(f"job expands to {len(tasks)} tasks; the limit is "
                          f"{MAX_TASKS_PER_JOB}")
     spec = {"configs": configs, "workloads": workloads, "ops": ops,
-            "seeds": seeds, "validate": validate, "kernel": kernel}
+            "seeds": seeds, "validate": validate, "kernel": kernel,
+            "tracing": tracing}
     return {"tenant": tenant, "priority": priority, "spec": spec,
             "tasks": tasks}
 
@@ -129,6 +134,9 @@ class Job:
     priority: int
     spec: Dict[str, Any]
     tasks: List[SweepJob]
+    #: Distributed trace id minted at submission; every task is stamped
+    #: with it so a traced worker-side span export names this job.
+    trace_id: str = ""
     state: str = "queued"
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
@@ -165,6 +173,7 @@ class Job:
             wall = (self.finished_at or time.time()) - self.started_at
         return {
             "id": self.id, "tenant": self.tenant, "priority": self.priority,
+            "trace_id": self.trace_id,
             "state": self.state, "spec": self.spec,
             "total_tasks": self.total_tasks, "done_tasks": self.done_tasks,
             "cached_tasks": self.cached_tasks,
@@ -204,9 +213,16 @@ class JobStore:
 
     def create(self, parsed: Dict[str, Any]) -> Job:
         self._seq += 1
+        # Mint the distributed trace id here — submission is the root of
+        # the causal chain — and stamp it onto every expanded task so it
+        # survives the lease/settle round trip and lands in any traced
+        # result's extras["trace"].
+        trace_id = uuid.uuid4().hex
+        tasks = [dataclasses.replace(t, trace_id=trace_id)
+                 for t in parsed["tasks"]]
         job = Job(id=f"job-{self._seq:06d}", tenant=parsed["tenant"],
                   priority=parsed["priority"], spec=parsed["spec"],
-                  tasks=parsed["tasks"])
+                  tasks=tasks, trace_id=trace_id)
         self._jobs[job.id] = job
         self._evict()
         return job

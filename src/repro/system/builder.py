@@ -129,6 +129,11 @@ class Chip(Component):
         # attaches a checker at the measurement boundary when validation
         # is enabled.
         self.checker = None
+        # Optional span tracer (repro.tracing), same discipline and
+        # attach point as the checker: ``None`` keeps each hook site at
+        # one attribute test, and the tracer only observes — it never
+        # schedules or mutates, so traced runs stay bit-identical.
+        self.tracer = None
 
     # -- topology helpers ---------------------------------------------------------
     def core_tile(self, core_id: int) -> int:
@@ -170,6 +175,8 @@ class Chip(Component):
         }
         calm = (not is_write) and (not prefetch) and self.calm.decide(pc, line)
         req.calm = calm
+        if self.tracer is not None:
+            self.tracer.on_l2_miss(req, now)
         st = self.stats
         key = "prefetch_reqs" if prefetch else "l2_misses"
         st[key] = st.get(key, 0.0) + 1.0
@@ -195,6 +202,8 @@ class Chip(Component):
                 # CXL component so the breakdown (and the checker's
                 # conservation audit) see it.
                 req.cxl_delay += extra
+        if self.tracer is not None:
+            self.tracer.on_mem_submit(req, self.sim.now, extra)
         port = self.ports[pidx]
         ptile = self.port_tiles[pidx]
         req.user["port_tile"] = ptile
@@ -273,6 +282,8 @@ class Chip(Component):
         req.t_complete = now
         if self.checker is not None:
             self.checker.on_complete(req)
+        if self.tracer is not None:
+            self.tracer.on_complete(req, now)
         core: Core = u["core"]
         if (self.measuring and req.t_create >= self.meas_start
                 and not u["prefetch"]):

@@ -214,6 +214,7 @@ def simulate(
     trace: Optional["object"] = None,
     kernel: Optional[str] = None,
     obs: Union[bool, str, None, "object"] = None,
+    tracing: Union[bool, str, None, "object"] = None,
 ) -> SimResult:
     """Run one configuration against one workload.
 
@@ -255,10 +256,22 @@ def simulate(
         results: the sampler only reads state and its pending tick is
         cancelled when the last core drains, so every ``SimResult``
         field outside ``extras["obs"]`` is identical obs on or off.
+    tracing:
+        Causal span tracing (see :mod:`repro.tracing`): ``True``/"on"
+        records per-request component spans + critical-path attribution
+        into ``extras["trace"]``, ``"kernel"`` additionally counts event
+        dispatches per callback (deterministic, identical across
+        kernels), ``False``/"off" disables. A pre-built
+        :class:`~repro.tracing.SpanTracer` is used directly (the caller
+        keeps it for exporting). ``None`` defers to ``$REPRO_TRACING``.
+        Like obs, the tracer is a pure observer: it schedules no events
+        and every ``SimResult`` field outside ``extras["trace"]`` —
+        including ``events_fired`` — is identical tracing on or off.
     """
     from repro.engine.kernel import Simulator
     from repro.exec.cache import config_digest
     from repro.obs import ObsCollector, resolve_obs_mode
+    from repro.tracing import SpanTracer, resolve_tracing_mode
     from repro.validate import InvariantChecker, TraceRecorder, resolve_validate_mode
 
     if isinstance(obs, ObsCollector):
@@ -266,6 +279,12 @@ def simulate(
     else:
         obs_mode = resolve_obs_mode(obs)
         collector = ObsCollector(mode=obs_mode) if obs_mode != "off" else None
+
+    if isinstance(tracing, SpanTracer):
+        tracer: Optional[SpanTracer] = tracing
+    else:
+        tracing_mode = resolve_tracing_mode(tracing)
+        tracer = SpanTracer(mode=tracing_mode) if tracing_mode != "off" else None
 
     mode = resolve_validate_mode(validate)
     if mode == "off" and trace is not None:
@@ -330,6 +349,11 @@ def simulate(
     # this is a clean boundary to start auditing request lifecycles.
     if checker is not None:
         chip.checker = checker
+    if tracer is not None:
+        # Same attach point as the checker: every request created inside
+        # the measurement window is created with span hooks live, so the
+        # tracer's attribution guard mirrors the breakdown's exactly.
+        tracer.attach(sim, chip)
     chip.begin_measurement()
     t0 = sim.now
     remaining[0] = n_active
@@ -400,6 +424,8 @@ def simulate(
         # Deterministic payload only (no profile wall times): the fuzz
         # oracles diff full results across kernels and cache hits.
         extras["obs"] = collector.snapshot(with_profile=False)
+    if tracer is not None:
+        extras["trace"] = tracer.snapshot()
 
     return SimResult(
         config_name=cfg.name,

@@ -1,0 +1,46 @@
+"""Causal span tracing for the simulated memory path (see PR docs).
+
+Three tiers: per-request simulation spans (:class:`SpanTracer`,
+zero-perturbation), critical-path attribution (:mod:`.critpath`), and
+Perfetto/JSONL export with distributed trace-id propagation
+(:mod:`.export`). Enable per run with ``simulate(..., tracing="on")``,
+``repro run --tracing on``, or ``$REPRO_TRACING``.
+"""
+
+from repro.tracing.critpath import (
+    ATTRIBUTION_COMPONENTS,
+    attribution_table,
+    critical_path,
+    format_critical_path,
+    path_attribution,
+    slowest,
+)
+from repro.tracing.export import (
+    export_perfetto,
+    export_spans_jsonl,
+    export_trace,
+    load_trace,
+)
+from repro.tracing.spans import (
+    TRACE_SCHEMA_VERSION,
+    TRACING_MODES,
+    SpanTracer,
+    resolve_tracing_mode,
+)
+
+__all__ = [
+    "ATTRIBUTION_COMPONENTS",
+    "TRACE_SCHEMA_VERSION",
+    "TRACING_MODES",
+    "SpanTracer",
+    "attribution_table",
+    "critical_path",
+    "export_perfetto",
+    "export_spans_jsonl",
+    "export_trace",
+    "format_critical_path",
+    "load_trace",
+    "path_attribution",
+    "resolve_tracing_mode",
+    "slowest",
+]

@@ -1,0 +1,96 @@
+"""Critical-path analysis over completed span rows.
+
+One L2 miss in this model is a (mostly) linear chain — LLC lookup, then
+the memory leg (migration wait, CXL TX, MC queue, DRAM service, CXL RX)
+— with the CALM join as the only fork. :func:`critical_path` walks one
+request's recorded spans in time order and emits the blocking chain
+covering ``[t_create, t_complete]``: overlapped portions are charged to
+the earlier span, and gaps the tracer has no span for (NoC crossings,
+the CALM join wait) are attributed to ``onchip``. MSHR waits happen
+before ``t_create`` and are therefore clipped — they delay the miss's
+*start*, not its latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: Attribution components, in report order.
+ATTRIBUTION_COMPONENTS = (
+    "onchip", "queuing", "serialization", "service", "migration")
+
+
+def critical_path(row: dict) -> List[dict]:
+    """The blocking chain of one completed request.
+
+    Returns ordered segments ``{"name", "component", "t0", "t1", "dur"}``
+    exactly covering ``[t_create, t_complete]``.
+    """
+    t_start = row["t_create"]
+    t_end = row["t_complete"]
+    spans = sorted((s for s in row.get("spans", ()) if s["t1"] > s["t0"]),
+                   key=lambda s: (s["t0"], s["t1"]))
+    segs: List[dict] = []
+
+    def seg(name: str, component: str, t0: float, t1: float) -> None:
+        segs.append({"name": name, "component": component,
+                     "t0": t0, "t1": t1, "dur": t1 - t0})
+
+    cursor = t_start
+    for s in spans:
+        a = max(s["t0"], cursor)
+        b = min(s["t1"], t_end)
+        if b <= a:
+            continue
+        if a > cursor:
+            seg("onchip", "onchip", cursor, a)
+        seg(s["name"], s.get("component", "onchip"), a, b)
+        cursor = b
+    if t_end > cursor:
+        seg("onchip", "onchip", cursor, t_end)
+    return segs
+
+
+def path_attribution(row: dict) -> Dict[str, float]:
+    """Per-component time (ns) along one request's critical path."""
+    out = {c: 0.0 for c in ATTRIBUTION_COMPONENTS}
+    for s in critical_path(row):
+        out[s["component"]] = out.get(s["component"], 0.0) + s["dur"]
+    return out
+
+
+def slowest(snapshot: dict, n: int = 10) -> List[dict]:
+    """The ``n`` slowest retained requests, worst first."""
+    rows = sorted(snapshot.get("spans", ()),
+                  key=lambda r: r["total"], reverse=True)
+    return rows[:n]
+
+
+def attribution_table(snapshot: dict) -> str:
+    """Human-readable component attribution of one trace snapshot."""
+    att = snapshot.get("attribution") or {}
+    total = att.get("total", 0.0)
+    lines = [
+        f"requests : {att.get('n', 0)} measured "
+        f"({att.get('hits', 0)} LLC hits, {att.get('misses', 0)} misses)",
+        f"{'component':<14s} {'time(ns)':>14s} {'share':>7s}",
+    ]
+    for comp in ATTRIBUTION_COMPONENTS:
+        v = att.get(comp, 0.0)
+        share = v / total if total > 0 else 0.0
+        lines.append(f"{comp:<14s} {v:>14.1f} {100.0 * share:>6.1f}%")
+    lines.append(f"{'total':<14s} {total:>14.1f} {'100.0%':>7s}")
+    return "\n".join(lines)
+
+
+def format_critical_path(row: dict) -> str:
+    """One request's blocking chain as an indented text block."""
+    head = (f"req {row['req_id']} core {row['core']} addr {row['addr']:#x} "
+            f"{'hit' if row.get('llc_hit') else 'miss'}"
+            f"{' calm' if row.get('calm') else ''} "
+            f"total {row['total']:.1f} ns")
+    lines = [head]
+    for s in critical_path(row):
+        lines.append(f"  {s['name']:<18s} {s['dur']:>10.1f} ns "
+                     f"[{s['component']}]  @{s['t0']:.1f}")
+    return "\n".join(lines)

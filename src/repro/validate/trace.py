@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.exportutil import dispatch_export
 from repro.request import MemRequest
 
 #: Column order of one trace row (and of the exported structured array).
@@ -113,18 +114,9 @@ class TraceRecorder:
         silent fall-through, so a typo like ``trace.jsnl`` can't quietly
         produce the wrong format.
         """
-        if fmt is None:
-            suffix = Path(path).suffix.lower()
-            if suffix in (".jsonl", ".json"):
-                fmt = "jsonl"
-            elif suffix == ".npy":
-                fmt = "npy"
-            else:
-                raise ValueError(
-                    f"cannot infer trace format from suffix {suffix!r} for "
-                    f"{path}; use a .jsonl/.npy path or pass fmt='jsonl'/'npy'")
-        if fmt == "jsonl":
-            return self.export_jsonl(path)
-        if fmt == "npy":
-            return self.export_npy(path)
-        raise ValueError(f"unknown trace format {fmt!r} (use jsonl or npy)")
+        return dispatch_export(
+            path, fmt,
+            {"jsonl": self.export_jsonl, "npy": self.export_npy},
+            kind="trace",
+            suffix_map={".jsonl": "jsonl", ".npy": "npy", ".json": "jsonl"},
+        )

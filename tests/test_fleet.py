@@ -473,6 +473,65 @@ class TestBrokerHttp:
         assert (dataclasses.asdict(result.result)
                 == dataclasses.asdict(jr.result))
 
+    def test_trace_id_propagates_broker_to_settle(self):
+        """Unit leg of distributed tracing: a traced spec's trace id
+        survives submit -> lease -> simulate -> settle -> results, and
+        the settled result's span payload carries it."""
+        broker = FleetBroker(now_fn=Clock())
+        specs = expand_specs(["ddr-baseline"], ["mcf"], ops=OPS,
+                             tracing="on", trace_id="feedface" * 4)
+        ids = broker.submit(specs)
+        [task] = broker.lease("w1", max_tasks=1)
+        assert task.spec.tracing == "on"
+        assert task.spec.trace_id == "feedface" * 4
+        _, payload = run_and_wire(task.spec)
+        assert broker.settle("w1", task.id, payload=payload) == "ok"
+        [result] = broker.results(ids)
+        trace = result.result.extras["trace"]
+        assert trace["trace_id"] == "feedface" * 4
+        assert trace["attribution"]["n"] > 0
+
+    def test_worker_exports_perfetto_trace(self, broker_http, tmp_path,
+                                           capsys):
+        """Real-worker leg: a worker with --trace-dir exports one
+        Perfetto file per traced task, named by trace id, and
+        `repro trace view` recovers the id from the file."""
+        from repro.cli import main as cli_main
+        from repro.tracing import load_trace
+
+        trace_dir = tmp_path / "traces"
+        tid = "a" * 32
+        specs = expand_specs(["ddr-baseline"], ["mcf"], ops=OPS,
+                             tracing="on", trace_id=tid)
+        client = FleetClient(broker_http.url)
+        ids = client.submit(specs)
+        worker = FleetWorker(broker_http.url, worker_id="wt", poll_s=0.05,
+                             trace_dir=trace_dir)
+        thread = threading.Thread(target=worker.run, daemon=True)
+        thread.start()
+        client.wait(ids, timeout_s=120.0)
+        client.drain()
+        thread.join(timeout=30)
+        path = trace_dir / f"trace-{tid}-task{ids[0]}.json"
+        assert path.exists(), list(trace_dir.glob("*"))
+        assert load_trace(path)["trace_id"] == tid
+        assert cli_main(["trace", "view", str(path)]) == 0
+        assert tid in capsys.readouterr().out
+
+    def test_worker_skips_export_for_untraced_tasks(self, broker_http,
+                                                    tmp_path):
+        trace_dir = tmp_path / "traces"
+        client = FleetClient(broker_http.url)
+        ids = client.submit(make_specs(1))
+        worker = FleetWorker(broker_http.url, worker_id="wu", poll_s=0.05,
+                             trace_dir=trace_dir)
+        thread = threading.Thread(target=worker.run, daemon=True)
+        thread.start()
+        client.wait(ids, timeout_s=120.0)
+        client.drain()
+        thread.join(timeout=30)
+        assert not list(trace_dir.glob("*.json"))
+
     def test_client_error_reporting(self, broker_http):
         client = FleetClient(broker_http.url)
         with pytest.raises(FleetError, match="-> 400"):

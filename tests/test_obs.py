@@ -406,6 +406,45 @@ class TestReport:
         assert "repro_miss_latency_ns" in text
         assert "p99" in text
 
+    def _series_run(self, columns, windows=1):
+        return {"series": {"t": list(range(windows)), "interval_ns": 250.0,
+                           "columns": columns}}
+
+    def test_empty_column_renders_no_row(self):
+        """Regression: an empty column used to raise on max([]) /
+        render a bare label; now it is simply skipped."""
+        text = render_report(self._series_run(
+            {"ddr0.bytes": [64.0, 128.0], "ddr0.rq": []}, windows=2))
+        assert "ddr0 GB/s" in text
+        assert "readq" not in text
+
+    def test_single_point_series_renders_padded(self):
+        """Regression: a one-window run must still render aligned
+        mean/peak columns, not a ragged one-char line."""
+        text = render_report(self._series_run({"ddr0.bytes": [64.0],
+                                               "mshr": [3.0]}))
+        rows = [ln for ln in text.splitlines() if "mean" in ln]
+        assert len(rows) == 2
+        assert len({ln.index("mean") for ln in rows}) == 1  # aligned
+        assert "Time series (1 windows" in text
+
+    def test_one_sided_calm_columns(self):
+        """Regression: only one of calm.go/calm.suppress present (or
+        non-zero) must not KeyError; the empty side is skipped."""
+        text = render_report(self._series_run({"calm.go": [5.0, 7.0]},
+                                              windows=2))
+        assert "calm go" in text and "calm suppress" not in text
+
+    def test_all_empty_series_section_dropped(self):
+        """Regression: every column empty used to leave a dangling
+        'Time series' header with no rows."""
+        text = render_report(self._series_run(
+            {"ddr0.bytes": [], "calm.go": []}, windows=2))
+        assert "Time series" not in text
+
+    def test_no_series_at_all(self):
+        assert "Time series" not in render_report({"series": {}})
+
 
 # -- trace recorder export fixes (satellite) -----------------------------------
 class TestTraceExport:
